@@ -1,0 +1,18 @@
+# Convenience targets for the Cascaded-SFC reproduction.
+
+.PHONY: test bench experiments experiments-quick coverage loc
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.experiments run all
+
+experiments-quick:
+	python -m repro.experiments run all --quick
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

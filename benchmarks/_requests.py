@@ -1,0 +1,29 @@
+"""Request factory shared by the benchmark modules.
+
+Benchmarks must not import from ``tests`` (the package is only on
+``sys.path`` under ``python -m pytest``), so the tiny factory lives
+here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.request import DiskRequest
+
+
+def make_request(request_id=0, arrival_ms=0.0, cylinder=0, nbytes=65536,
+                 deadline_ms=math.inf, priorities=(), value=0.0,
+                 stream_id=-1, is_write=False):
+    """Request factory with sensible defaults."""
+    return DiskRequest(
+        request_id=request_id,
+        arrival_ms=arrival_ms,
+        cylinder=cylinder,
+        nbytes=nbytes,
+        deadline_ms=deadline_ms,
+        priorities=tuple(priorities),
+        value=value,
+        stream_id=stream_id,
+        is_write=is_write,
+    )

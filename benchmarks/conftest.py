@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper table/figure (quick-sized) and
+asserts its qualitative shape, so ``pytest benchmarks/
+--benchmark-only`` doubles as the reproduction harness.  ``--quick``
+sizes keep the suite in tens of seconds; run the experiment modules'
+``main()`` for full-size tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once per measurement round.
+
+    Simulation experiments are deterministic and take O(seconds);
+    calibrated micro-benchmark looping would multiply that for no
+    statistical gain.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,55 @@
+"""Ablation: the SP (Serve-and-Promote) and ER (Expand-and-Reset)
+policies of Section 3.1 / 3.2."""
+
+from __future__ import annotations
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.experiments.common import replay
+from repro.sim.service import constant_service
+from repro.workloads.poisson import PoissonWorkload
+
+REQUESTS = PoissonWorkload(
+    count=600, mean_interarrival_ms=25.0, priority_dims=3,
+    priority_levels=16, deadline_range_ms=None,
+).generate(seed=13)
+
+
+def run_policies(sp: bool, er: bool):
+    config = CascadedSFCConfig(
+        priority_dims=3, priority_levels=16, sfc1="diagonal",
+        use_stage2=False, use_stage3=False,
+        dispatcher="conditional", window_fraction=0.1,
+        serve_and_promote=sp,
+        expansion_factor=2.0 if er else None,
+    )
+    scheduler = CascadedSFCScheduler(config, cylinders=3832)
+    result = replay(REQUESTS, lambda: scheduler,
+                    lambda: constant_service(50.0))
+    return result, scheduler.dispatcher
+
+
+def sweep_all():
+    return {
+        (sp, er): run_policies(sp, er)
+        for sp in (False, True) for er in (False, True)
+    }
+
+
+def test_ablation_sp_er_policies(once):
+    results = once(sweep_all)
+    print()
+    for (sp, er), (result, dispatcher) in results.items():
+        print(f"SP={sp!s:5s} ER={er!s:5s} "
+              f"inversions={result.metrics.total_inversions:7d} "
+              f"promotions={dispatcher.promotions:5d} "
+              f"preemptions={dispatcher.preemptions:5d}")
+    # SP strictly adds promotions and reduces (or preserves) inversion.
+    no_sp = results[(False, False)][0].metrics.total_inversions
+    with_sp = results[(True, False)][0].metrics.total_inversions
+    assert with_sp <= no_sp
+    assert results[(True, False)][1].promotions > 0
+    assert results[(False, False)][1].promotions == 0
+    # ER can only reduce the number of preemptions (the window grows).
+    assert (results[(False, True)][1].preemptions
+            <= results[(False, False)][1].preemptions)

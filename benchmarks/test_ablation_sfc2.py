@@ -1,0 +1,58 @@
+"""Ablation: the paper's weighted-sum SFC2 vs a true 2-D curve.
+
+The weighted family ages requests by absolute deadline; the 2-D curve
+variant quantizes slack onto a grid.  Both should land between the
+pure-priority and pure-EDF extremes on the inversion/miss trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.experiments.common import replay
+from repro.schedulers.edf import EDFScheduler
+from repro.sim.service import constant_service
+from repro.workloads.poisson import PoissonWorkload
+
+REQUESTS = PoissonWorkload(
+    count=1000, mean_interarrival_ms=25.0, priority_dims=3,
+    priority_levels=8, deadline_range_ms=(500.0, 700.0),
+).generate(seed=17)
+
+SERVICE = lambda: constant_service(21.75)
+
+
+def run_stage2(kind: str, curve: str = "diagonal"):
+    config = CascadedSFCConfig(
+        priority_dims=3, priority_levels=8, sfc1="diagonal",
+        stage2_kind=kind, sfc2=curve, f=1.0,
+        deadline_horizon_ms=150.0, stage2_grid=64,
+        use_stage3=False, dispatcher="conditional",
+        window_fraction=0.05,
+    )
+    return replay(REQUESTS,
+                  lambda: CascadedSFCScheduler(config, cylinders=3832),
+                  SERVICE, priority_levels=8)
+
+
+def sweep_all():
+    edf = replay(REQUESTS, EDFScheduler, SERVICE, priority_levels=8)
+    return {
+        "edf": edf,
+        "weighted": run_stage2("weighted"),
+        "sfc-diagonal": run_stage2("sfc", "diagonal"),
+        "sfc-hilbert": run_stage2("sfc", "hilbert"),
+    }
+
+
+def test_ablation_stage2_kind(once):
+    results = once(sweep_all)
+    print()
+    for name, result in results.items():
+        print(f"{name:14s} inversions={result.metrics.total_inversions:7d}"
+              f" misses={result.metrics.missed:4d}")
+    edf = results["edf"].metrics
+    # Every stage-2 variant trades some misses for lower inversion.
+    for name in ("weighted", "sfc-diagonal", "sfc-hilbert"):
+        metrics = results[name].metrics
+        assert metrics.total_inversions < edf.total_inversions

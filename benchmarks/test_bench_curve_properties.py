@@ -1,0 +1,50 @@
+"""Bench: regenerate Figure 1's curve gallery as a property table.
+
+The paper's qualitative claims about the seven curves trace back to
+structural properties (irregularity, continuity, locality).  This
+bench computes them all on a 16x16 grid and asserts the ones the
+scheduling results rely on.
+"""
+
+from __future__ import annotations
+
+from repro.sfc import PAPER_CURVES, get_curve, summarize
+
+
+def analyse_all():
+    return {name: summarize(get_curve(name, 2, 16))
+            for name in PAPER_CURVES}
+
+
+def test_curve_property_table(once):
+    summaries = once(analyse_all)
+    print()
+    header = (f"{'curve':>9s} {'irr dim0':>9s} {'irr dim1':>9s} "
+              f"{'breaks':>7s} {'gap':>6s}")
+    print(header)
+    for name, summary in summaries.items():
+        irr = summary["irregularity"]
+        print(f"{name:>9s} {irr[0]:9d} {irr[1]:9d} "
+              f"{summary['continuity_breaks']:7d} "
+              f"{summary['mean_neighbour_gap']:6.2f}")
+
+    irr = {name: s["irregularity"] for name, s in summaries.items()}
+    breaks = {name: s["continuity_breaks"]
+              for name, s in summaries.items()}
+    # Sweep/C-Scan are monotone in exactly one (opposite) dimension.
+    assert irr["sweep"][1] == 0 and irr["sweep"][0] > 0
+    assert irr["cscan"][0] == 0 and irr["cscan"][1] > 0
+    # Hilbert, Scan, Spiral are continuous; Sweep and Gray jump.
+    assert breaks["hilbert"] == 0
+    assert breaks["scan"] == 0
+    assert breaks["spiral"] == 0
+    assert breaks["sweep"] > 0
+    assert breaks["gray"] > 0
+    # Diagonal balances irregularity across dimensions.
+    assert abs(irr["diagonal"][0] - irr["diagonal"][1]) <= (
+        0.05 * max(irr["diagonal"])
+    )
+    # Total irregularity (the inversion potential) is lowest for the
+    # Diagonal family -- the structural root of Figure 5.
+    totals = {name: sum(values) for name, values in irr.items()}
+    assert totals["diagonal"] == min(totals.values())

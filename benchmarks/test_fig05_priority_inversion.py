@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 5 (priority inversion vs window size)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig5_priority_inversion import Fig5Spec, run
+
+
+def row(table, label):
+    return [float(c) for r in table.rows if r[0] == label
+            for c in r[1:]]
+
+
+def test_fig05_priority_inversion(once):
+    table = once(run, Fig5Spec().quick())
+    print()
+    print(table.render())
+    # Paper shape: all curves beat FIFO; the balanced (Diagonal) curve
+    # is best at small windows by a clear margin; Gray/Hilbert high.
+    diagonal = row(table, "diagonal")
+    assert diagonal[0] == min(
+        row(table, name)[0]
+        for name in ("sweep", "cscan", "scan", "gray", "hilbert",
+                     "spiral", "diagonal")
+    )
+    assert row(table, "gray")[0] > 1.3 * diagonal[0]

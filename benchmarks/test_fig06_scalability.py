@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 6 (scalability with QoS dimensionality)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_scalability import Fig6Spec, run
+
+
+def row(table, label):
+    return [float(c) for r in table.rows if r[0] == label
+            for c in r[1:]]
+
+
+def test_fig06_scalability(once):
+    table = once(run, Fig6Spec().quick())
+    print()
+    print(table.render())
+    # Paper shape: the best curve keeps winning as D grows to 12.
+    diagonal = row(table, "diagonal")
+    for name in ("sweep", "cscan", "scan", "gray", "hilbert", "spiral"):
+        assert diagonal[-1] < row(table, name)[-1]

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 7 (fairness across dimensions)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_fairness import Fig7Spec, run
+
+
+def row(table, label):
+    return [float(c) for r in table.rows if r[0] == label
+            for c in r[1:]]
+
+
+def test_fig07_fairness(once):
+    result = once(run, Fig7Spec().quick())
+    print()
+    print(result.stddev_table.render())
+    print()
+    print(result.favored_table.render())
+    # Paper shape: Diagonal fairest (std-dev < 10%); Sweep/C-Scan the
+    # least fair but with a zero-inversion favored dimension.
+    assert max(row(result.stddev_table, "diagonal")) < 10.0
+    assert row(result.favored_table, "sweep")[0] == 0.0
+    assert row(result.favored_table, "cscan")[0] == 0.0
+    assert (row(result.stddev_table, "sweep")[0]
+            > row(result.stddev_table, "diagonal")[0])

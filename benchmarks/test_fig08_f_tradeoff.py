@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 8 (effect of f in SFC2)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig8_f_tradeoff import Fig8Spec, run
+
+
+def row(table, label):
+    return [float(c) for r in table.rows if r[0] == label
+            for c in r[1:]]
+
+
+def test_fig08_f_tradeoff(once):
+    result = once(run, Fig8Spec().quick())
+    print()
+    print(result.inversion_table.render())
+    print()
+    print(result.miss_table.render())
+    assert result.edf_misses > 0
+    # Paper shape: inversions rise with f; misses fall toward EDF's
+    # level; f = 0 pays in misses to minimize inversion.
+    for label in ("sweep", "diagonal"):
+        inv = row(result.inversion_table, label)
+        assert inv[0] < inv[-1]
+    miss = row(result.miss_table, "diagonal")
+    assert miss[0] > miss[1]
+    inv0 = row(result.inversion_table, "diagonal")[0]
+    assert inv0 < 70.0

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 9 (selectivity of deadline misses)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig9_selectivity import (
+    Fig9Spec,
+    high_low_split,
+    run,
+)
+
+
+def test_fig09_selectivity(once):
+    outcome = once(run, Fig9Spec().quick())
+    print()
+    for table in outcome.tables:
+        print(table.render())
+        print()
+    # Paper shape: EDF scatters misses across all levels; the SFC
+    # schedulers sacrifice low-priority requests instead.
+    edf_top, edf_bottom = high_low_split(outcome.results["edf"], 0, 8)
+    hil_top, hil_bottom = high_low_split(outcome.results["hilbert"], 0, 8)
+    assert hil_top < edf_top
+    assert hil_bottom > hil_top
+    # Sweep protects its most significant (last) dimension hardest.
+    sweep_top, _ = high_low_split(outcome.results["sweep"], 2, 8)
+    edf_top_last, _ = high_low_split(outcome.results["edf"], 2, 8)
+    assert sweep_top < edf_top_last

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 10 (effect of R in SFC3)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig10_r_tradeoff import Fig10Spec, run
+
+
+def test_fig10_r_tradeoff(once):
+    result = once(run, Fig10Spec().quick())
+    table = result.table
+    print()
+    print(table.render())
+    edf = next(r for r in table.rows if r[0] == "edf")
+    cascaded = [r for r in table.rows
+                if str(r[0]).startswith("cascaded")]
+    # Paper shape: cascaded beats EDF on misses at every R, beats the
+    # batch C-SCAN reference at small R, and seek grows with R.
+    for r in cascaded:
+        assert float(r[2]) < float(edf[2])
+    assert float(cascaded[0][2]) < 100.0
+    seeks = [float(r[3]) for r in cascaded]
+    assert seeks[0] < seeks[-1]
+    assert float(edf[3]) > seeks[-1]  # EDF's seek is worst of all

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 11 (aggregate losses in the editing server)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_aggregate_losses import Fig11Spec, run
+
+
+def row(table, label):
+    return [float(c) for r in table.rows if r[0] == label
+            for c in r[1:]]
+
+
+def test_fig11_aggregate_losses(once):
+    table = once(run, Fig11Spec().quick())
+    print()
+    print(table.render())
+    # Paper shape: FCFS worst; the balanced curves (Hilbert/Diagonal)
+    # beat Sweep-X (EDF) under heavy load.
+    fcfs = row(table, "fcfs")
+    for name in ("sweep-x", "sweep-y", "hilbert", "diagonal"):
+        assert row(table, name)[-1] < fcfs[-1]
+    sweep_x = row(table, "sweep-x")[-1]
+    assert row(table, "hilbert")[-1] < sweep_x
+    assert row(table, "diagonal")[-1] < sweep_x

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the scheduling hot paths.
+
+These are classic pytest-benchmark loops (calibrated, many rounds):
+curve index computation, v_c encapsulation, and queue operations are
+the per-request costs a production scheduler would pay.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.sfc.registry import get_curve
+from repro.util.priority_queue import IndexedPriorityQueue
+from _requests import make_request
+
+
+@pytest.mark.parametrize("name", ["sweep", "gray", "hilbert", "diagonal",
+                                  "spiral"])
+def test_curve_index_3d(benchmark, name):
+    curve = get_curve(name, 3, 16)
+    rng = random.Random(1)
+    points = [tuple(rng.randrange(16) for _ in range(3))
+              for _ in range(256)]
+
+    def index_batch():
+        total = 0
+        for point in points:
+            total += curve.index(point)
+        return total
+
+    assert benchmark(index_batch) > 0
+
+
+def test_curve_index_12d_hilbert(benchmark):
+    curve = get_curve("hilbert", 12, 16)
+    rng = random.Random(2)
+    points = [tuple(rng.randrange(16) for _ in range(12))
+              for _ in range(64)]
+    benchmark(lambda: [curve.index(p) for p in points])
+
+
+def test_characterize_full_cascade(benchmark):
+    config = CascadedSFCConfig(priority_dims=3, priority_levels=8)
+    scheduler = CascadedSFCScheduler(config, cylinders=3832)
+    rng = random.Random(3)
+    requests = [
+        make_request(
+            request_id=i,
+            cylinder=rng.randrange(3832),
+            deadline_ms=rng.uniform(100, 1000),
+            priorities=tuple(rng.randrange(8) for _ in range(3)),
+        )
+        for i in range(256)
+    ]
+
+    def characterize_batch():
+        return [scheduler.characterize(r, 0.0, 0) for r in requests]
+
+    values = benchmark(characterize_batch)
+    assert len(values) == 256
+
+
+def test_priority_queue_churn(benchmark):
+    rng = random.Random(4)
+    keys = list(range(512))
+
+    def churn():
+        queue: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        for key in keys:
+            queue.push(key, rng.random())
+        for _ in range(256):
+            queue.pop()
+        for key in keys[:128]:
+            queue.push(key, rng.random())
+        while queue:
+            queue.pop()
+
+    benchmark(churn)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 1 (disk model calibration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1_disk_model
+
+
+def test_table1_disk_model(once):
+    table = once(table1_disk_model.run)
+    print()
+    print(table.render())
+    for row in table.rows:
+        _name, paper, model = row
+        assert float(paper) == pytest.approx(float(model), rel=0.01)

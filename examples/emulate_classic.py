@@ -1,0 +1,67 @@
+"""Section 4.2 demo: Cascaded-SFC as a generalization of the classics.
+
+With the three SFC stages ignored and the window set to zero, the
+Cascaded-SFC machinery reproduces FCFS and EDF *exactly* -- same service
+order, request for request -- and hosts SCAN-EDF / multi-queue as
+insertion keys.  This script verifies the equivalences on a random
+workload and prints the observed orders side by side.
+
+Run with::
+
+    python examples/emulate_classic.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    emulate_edf,
+    emulate_fcfs,
+    emulate_multiqueue,
+    emulate_scan_edf,
+)
+from repro.schedulers import EDFScheduler, FCFSScheduler
+from repro.sim import SyntheticService, run_simulation
+from repro.workloads import PoissonWorkload
+
+
+def service_order(requests, scheduler):
+    order = []
+
+    def record(request):
+        order.append(request.request_id)
+        return 12.0
+
+    run_simulation(requests, scheduler, SyntheticService(record))
+    return order
+
+
+def main() -> None:
+    requests = PoissonWorkload(
+        count=40, mean_interarrival_ms=6.0, priority_dims=1,
+        priority_levels=8, deadline_range_ms=(100.0, 500.0),
+    ).generate(seed=3)
+
+    pairs = [
+        ("FCFS", FCFSScheduler(), emulate_fcfs()),
+        ("EDF", EDFScheduler(), emulate_edf()),
+    ]
+    for name, real, emulated in pairs:
+        real_order = service_order(requests, real)
+        emulated_order = service_order(requests, emulated)
+        match = "EXACT MATCH" if real_order == emulated_order else "DIFFERS"
+        print(f"{name}: dedicated implementation vs Cascaded-SFC "
+              f"emulation -> {match}")
+        print(f"  first ten served: {real_order[:10]}")
+
+    print()
+    print("Insertion-key emulations (no dedicated twin):")
+    for name, scheduler in [
+        ("SCAN-EDF", emulate_scan_edf(cylinders=3832)),
+        ("multi-queue", emulate_multiqueue(levels=8, cylinders=3832)),
+    ]:
+        order = service_order(requests, scheduler)
+        print(f"  {name:12s} first ten served: {order[:10]}")
+
+
+if __name__ == "__main__":
+    main()

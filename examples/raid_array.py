@@ -1,0 +1,73 @@
+"""RAID-5 array scenario: the full five-disk PanaViss storage backend.
+
+Table 1 specifies "5 Disks / RAID 5 (4 data + 1 parity)".  This example
+replays a mixed read/write stream against the whole array: reads cost
+one physical operation, small writes cost the classic four-operation
+read-modify-write penalty (data read+write plus parity read+write),
+and every member disk runs its own scheduler over its own arm.
+
+Shows per-member load balance, measured write amplification, and how
+the choice of per-member scheduler changes array-level deadline misses.
+
+Run with::
+
+    python examples/raid_array.py
+"""
+
+from __future__ import annotations
+
+from repro.schedulers import (
+    CScanScheduler,
+    EDFScheduler,
+    FCFSScheduler,
+)
+from repro.sim import LogicalRequest, run_array_simulation
+from repro.sim.rng import derive
+
+CYLINDERS = 3832
+
+
+def make_workload(count=400, write_fraction=0.3, seed=5):
+    rng = derive(seed, "raid-example")
+    requests = []
+    now = 0.0
+    for i in range(count):
+        now += rng.expovariate(1.0 / 6.0)  # 6 ms mean interarrival
+        requests.append(LogicalRequest(
+            request_id=i,
+            arrival_ms=now,
+            logical_block=rng.randrange(30_000),
+            deadline_ms=now + rng.uniform(300.0, 600.0),
+            priorities=(rng.randrange(4),),
+            is_write=rng.random() < write_fraction,
+        ))
+    return requests
+
+
+def main() -> None:
+    requests = make_workload()
+    writes = sum(1 for r in requests if r.is_write)
+    print(f"Array workload: {len(requests)} logical requests "
+          f"({writes} writes)")
+    print()
+
+    schedulers = {
+        "fcfs": FCFSScheduler,
+        "edf": EDFScheduler,
+        "cscan": lambda: CScanScheduler(CYLINDERS),
+    }
+    for name, factory in schedulers.items():
+        result = run_array_simulation(requests, factory,
+                                      priority_levels=4)
+        per_member = [m.completed for m in result.disk_metrics]
+        print(f"{name:>6s}: misses={result.logical_metrics.missed:4d}  "
+              f"write-amplification={result.write_amplification:.2f}  "
+              f"ops/member={per_member}")
+    print()
+    print("Write amplification sits between 1.0 (all reads) and 4.0")
+    print("(all small writes); the per-member counts show the rotating")
+    print("parity spreading physical work across all five arms.")
+
+
+if __name__ == "__main__":
+    main()

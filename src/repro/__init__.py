@@ -1,0 +1,52 @@
+"""Reproduction of *Scalable Multimedia Disk Scheduling* (ICDE 2004).
+
+The package implements the Cascaded-SFC multimedia disk scheduler of
+Mokbel, Aref, Elbassioni and Kamel, together with every substrate the
+paper's evaluation depends on: a space-filling curve library, a zoned
+disk / RAID-5 model, an event-driven disk-server simulator, the
+workload generators, all baseline schedulers, and one experiment module
+per figure and table.
+
+Quick start::
+
+    from repro import CascadedSFCScheduler, CascadedSFCConfig
+    from repro.workloads import PoissonWorkload
+    from repro.sim import run_simulation, DiskService
+    from repro.disk import make_xp32150_disk
+
+    disk = make_xp32150_disk()
+    scheduler = CascadedSFCScheduler(CascadedSFCConfig(),
+                                     cylinders=disk.geometry.cylinders)
+    requests = PoissonWorkload(count=500).generate(seed=7)
+    result = run_simulation(requests, scheduler, DiskService(disk))
+    print(result.metrics.total_inversions, result.metrics.missed)
+"""
+
+from .core import (
+    CascadedSFCConfig,
+    CascadedSFCScheduler,
+    DiskRequest,
+    Encapsulator,
+    EncodeContext,
+)
+from .disk import DiskModel, make_xp32150_disk
+from .schedulers import Scheduler, make_baseline
+from .sim import DiskService, SimulationResult, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CascadedSFCConfig",
+    "CascadedSFCScheduler",
+    "DiskModel",
+    "DiskRequest",
+    "DiskService",
+    "Encapsulator",
+    "EncodeContext",
+    "Scheduler",
+    "SimulationResult",
+    "make_baseline",
+    "make_xp32150_disk",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""The paper's primary contribution: the Cascaded-SFC disk scheduler."""
+
+from .batch import characterize_batch
+from .config import (
+    FULL_CASCADE,
+    PRIORITY_DEADLINE,
+    PRIORITY_ONLY,
+    CascadedSFCConfig,
+)
+from .dispatcher import (
+    ConditionallyPreemptiveDispatcher,
+    Dispatcher,
+    FullyPreemptiveDispatcher,
+    NonPreemptiveDispatcher,
+    window_from_fraction,
+)
+from .emulation import (
+    OneDimensionalCascaded,
+    emulate_edf,
+    emulate_fcfs,
+    emulate_multiqueue,
+    emulate_scan_edf,
+    emulate_sstf_at_insert,
+    sweep_deadline_priority,
+)
+from .encapsulator import (
+    Encapsulator,
+    EncodeContext,
+    PartitionedSeekStage,
+    PrioritySFCStage,
+    SFC2DStage,
+    WeightedDeadlineStage,
+)
+from .extensions import (
+    MultiPriorityAdapter,
+    SeekAwareAdapter,
+    bucket_priority,
+)
+from .quantize import (
+    CylinderDistanceQuantizer,
+    DeadlineQuantizer,
+    LinearQuantizer,
+    PriorityQuantizer,
+)
+from .request import Batch, DiskRequest, RequestFactory
+from .scheduler import (
+    CascadedSFCScheduler,
+    build_dispatcher,
+    build_encapsulator,
+)
+
+__all__ = [
+    "Batch",
+    "CascadedSFCConfig",
+    "CascadedSFCScheduler",
+    "ConditionallyPreemptiveDispatcher",
+    "CylinderDistanceQuantizer",
+    "DeadlineQuantizer",
+    "Dispatcher",
+    "DiskRequest",
+    "Encapsulator",
+    "EncodeContext",
+    "FULL_CASCADE",
+    "FullyPreemptiveDispatcher",
+    "LinearQuantizer",
+    "MultiPriorityAdapter",
+    "NonPreemptiveDispatcher",
+    "OneDimensionalCascaded",
+    "PRIORITY_DEADLINE",
+    "PRIORITY_ONLY",
+    "PartitionedSeekStage",
+    "PrioritySFCStage",
+    "PriorityQuantizer",
+    "RequestFactory",
+    "SFC2DStage",
+    "SeekAwareAdapter",
+    "WeightedDeadlineStage",
+    "bucket_priority",
+    "build_dispatcher",
+    "build_encapsulator",
+    "characterize_batch",
+    "emulate_edf",
+    "emulate_fcfs",
+    "emulate_multiqueue",
+    "emulate_scan_edf",
+    "emulate_sstf_at_insert",
+    "sweep_deadline_priority",
+    "window_from_fraction",
+]

@@ -1,0 +1,98 @@
+"""Configuration of the Cascaded-SFC scheduler.
+
+One frozen dataclass captures every tunable of the paper: which curve
+runs each stage, the deadline balance factor ``f``, the seek partition
+count ``R``, the blocking window ``w`` (as a fraction of the v_c
+space), and the dispatcher policies (SP / ER).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CascadedSFCConfig:
+    """All tunables of the Cascaded-SFC scheduler.
+
+    Stage switches follow Section 4.1: set ``use_stage2=False`` when
+    deadlines are relaxed, ``use_stage3=False`` when transfer time
+    dominates seek time, ``use_stage1=False`` with one priority type.
+    """
+
+    # -- stage 1: priorities --------------------------------------------
+    priority_dims: int = 3
+    priority_levels: int = 16
+    sfc1: str = "hilbert"
+    use_stage1: bool = True
+
+    # -- stage 2: deadline ----------------------------------------------
+    use_stage2: bool = True
+    #: "weighted" = the paper's v = priority + f*deadline family;
+    #: "sfc" = a true 2-D curve named by ``sfc2``.
+    stage2_kind: str = "weighted"
+    f: float = 1.0
+    sfc2: str = "diagonal"
+    deadline_horizon_ms: float = 1000.0
+    stage2_grid: int = 64
+
+    # -- stage 3: seek ----------------------------------------------------
+    use_stage3: bool = True
+    #: "partitioned" = the paper's R glued sweeps; "sfc" = 2-D curve
+    #: named by ``sfc3``.
+    stage3_kind: str = "partitioned"
+    r_partitions: int = 3
+    sfc3: str = "scan"
+    stage3_x_cells: int = 64
+    directional_seek: bool = True
+    #: Measure Y_v from the instantaneous head position instead of the
+    #: fixed sweep origin (ablation; decoheres the batch sweep).
+    seek_track_head: bool = False
+
+    # -- dispatcher --------------------------------------------------------
+    #: "conditional" (paper default), "full", or "non".
+    dispatcher: str = "conditional"
+    #: Blocking window as a fraction of the v_c space size.
+    window_fraction: float = 0.1
+    serve_and_promote: bool = True
+    #: ER expansion factor; ``None`` disables the ER policy.
+    expansion_factor: float | None = 2.0
+
+    extra: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.priority_dims < 0:
+            raise ValueError("priority_dims must be non-negative")
+        if self.priority_levels < 2:
+            raise ValueError("priority_levels must be >= 2")
+        if self.stage2_kind not in ("weighted", "sfc"):
+            raise ValueError(f"unknown stage2_kind {self.stage2_kind!r}")
+        if self.stage3_kind not in ("partitioned", "sfc"):
+            raise ValueError(f"unknown stage3_kind {self.stage3_kind!r}")
+        if self.dispatcher not in ("conditional", "full", "non"):
+            raise ValueError(f"unknown dispatcher {self.dispatcher!r}")
+        if not 0.0 <= self.window_fraction <= 1.0:
+            raise ValueError("window_fraction must lie in [0, 1]")
+        if self.f < 0 or math.isnan(self.f):
+            raise ValueError("f must be a non-negative number")
+        if self.r_partitions < 1:
+            raise ValueError("r_partitions must be >= 1")
+
+    def with_overrides(self, **changes: object) -> "CascadedSFCConfig":
+        """Functional update helper for parameter sweeps."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: Configuration used by the Fig. 5-7 experiments: priorities only.
+PRIORITY_ONLY = CascadedSFCConfig(
+    use_stage2=False, use_stage3=False,
+)
+
+#: Configuration used by the Fig. 8-9 experiments: priorities + deadline.
+PRIORITY_DEADLINE = CascadedSFCConfig(
+    use_stage3=False,
+)
+
+#: Full three-stage configuration of the Fig. 10 experiments.
+FULL_CASCADE = CascadedSFCConfig()

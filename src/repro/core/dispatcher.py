@@ -1,0 +1,244 @@
+"""Part 2 of the Cascaded-SFC scheduler: the dispatcher.
+
+The dispatcher manages the priority queue(s) of requests keyed by their
+characterization value ``v_c`` (lower = more important) and decides the
+order in which the disk server receives them.  Section 3 of the paper
+defines three variants:
+
+* :class:`FullyPreemptiveDispatcher` -- one queue; every arrival may
+  overtake everything (risk: starvation of low-priority requests).
+* :class:`NonPreemptiveDispatcher` -- arrivals during a service round
+  wait in a second queue ``q'`` until the active queue ``q`` drains
+  (risk: priority inversion).
+* :class:`ConditionallyPreemptiveDispatcher` -- the paper's compromise:
+  a new request enters the active queue only when its ``v_c`` beats the
+  currently-served request by more than the *blocking window* ``w``;
+  otherwise it waits in ``q'``.  Two optional policies refine it:
+
+  - **SP (Serve-and-Promote)**: before each dispatch, requests in ``q'``
+    that now beat the head of ``q`` by more than ``w`` are promoted.
+  - **ER (Expand-and-Reset)**: each preemption multiplies ``w`` by the
+    expansion factor ``e``; a normal dispatch resets ``w``, bounding
+    how long a stream of urgent arrivals can stall the rest of the
+    queue (starvation freedom).
+
+"Preemption" never aborts an in-flight disk operation; it only lets an
+arrival join the active queue ahead of already-queued requests.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.util.priority_queue import IndexedPriorityQueue
+
+from .request import DiskRequest
+
+
+class Dispatcher(ABC):
+    """Priority-queue management strategy for characterization values."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def insert(self, request: DiskRequest, vc: float) -> None:
+        """Queue ``request`` with characterization value ``vc``."""
+
+    @abstractmethod
+    def pop(self) -> DiskRequest | None:
+        """Remove and return the next request to serve (None when empty)."""
+
+    @abstractmethod
+    def pending(self) -> Iterator[DiskRequest]:
+        """Iterate over all waiting requests."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def vc_of(self, request: DiskRequest) -> float:
+        """Characterization value a waiting request was queued with."""
+        raise KeyError(request.request_id)
+
+
+class FullyPreemptiveDispatcher(Dispatcher):
+    """Single queue ordered purely by ``v_c``."""
+
+    name = "fully-preemptive"
+
+    def __init__(self) -> None:
+        self._queue: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        self._requests: dict[int, DiskRequest] = {}
+
+    def insert(self, request: DiskRequest, vc: float) -> None:
+        self._queue.push(request.request_id, vc)
+        self._requests[request.request_id] = request
+
+    def pop(self) -> DiskRequest | None:
+        if not self._queue:
+            return None
+        request_id, _vc = self._queue.pop()
+        return self._requests.pop(request_id)
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._requests.values()))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def vc_of(self, request: DiskRequest) -> float:
+        return self._queue.priority_of(request.request_id)  # type: ignore[return-value]
+
+
+class NonPreemptiveDispatcher(Dispatcher):
+    """Two queues: serve ``q`` to exhaustion, then swap in ``q'``."""
+
+    name = "non-preemptive"
+
+    def __init__(self) -> None:
+        self._active: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        self._waiting: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        self._requests: dict[int, DiskRequest] = {}
+        self._round_open = True  # arrivals go straight to q until first pop
+
+    def insert(self, request: DiskRequest, vc: float) -> None:
+        target = self._active if self._round_open else self._waiting
+        target.push(request.request_id, vc)
+        self._requests[request.request_id] = request
+
+    def pop(self) -> DiskRequest | None:
+        if not self._active:
+            if not self._waiting:
+                self._round_open = True
+                return None
+            self._active, self._waiting = self._waiting, self._active
+        self._round_open = False
+        request_id, _vc = self._active.pop()
+        return self._requests.pop(request_id)
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._requests.values()))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def vc_of(self, request: DiskRequest) -> float:
+        for queue in (self._active, self._waiting):
+            if request.request_id in queue:
+                return queue.priority_of(request.request_id)  # type: ignore[return-value]
+        raise KeyError(request.request_id)
+
+
+class ConditionallyPreemptiveDispatcher(Dispatcher):
+    """The paper's blocking-window dispatcher with SP and ER policies.
+
+    Parameters
+    ----------
+    window:
+        Blocking window ``w`` in characterization-value units.  ``0``
+        behaves like the fully-preemptive dispatcher; a value at least
+        as large as the v_c span behaves like the non-preemptive one.
+    expansion_factor:
+        ER policy factor ``e`` (> 1 enables ER; ``None`` disables).
+    serve_and_promote:
+        Enables the SP policy.
+    """
+
+    name = "conditionally-preemptive"
+
+    def __init__(self, window: float, *,
+                 expansion_factor: float | None = None,
+                 serve_and_promote: bool = True) -> None:
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if expansion_factor is not None and expansion_factor <= 1.0:
+            raise ValueError("expansion factor must exceed 1")
+        self._base_window = window
+        self._window = window
+        self._expansion = expansion_factor
+        self._sp = serve_and_promote
+        self._active: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        self._waiting: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        self._requests: dict[int, DiskRequest] = {}
+        self._current_vc: float | None = None  # v_c of the in-service request
+        self._preemptions = 0
+        self._promotions = 0
+
+    @property
+    def window(self) -> float:
+        """Current (possibly ER-expanded) blocking window."""
+        return self._window
+
+    @property
+    def preemptions(self) -> int:
+        return self._preemptions
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions
+
+    def insert(self, request: DiskRequest, vc: float) -> None:
+        if self._current_vc is None:
+            # Disk idle / between rounds: everything joins the active queue.
+            self._active.push(request.request_id, vc)
+        elif vc < self._current_vc - self._window:
+            # Significantly higher priority: preempt the service round.
+            self._active.push(request.request_id, vc)
+            self._preemptions += 1
+            if self._expansion is not None:
+                self._window *= self._expansion
+        else:
+            self._waiting.push(request.request_id, vc)
+        self._requests[request.request_id] = request
+
+    def pop(self) -> DiskRequest | None:
+        if self._sp:
+            self._promote()
+        if not self._active:
+            if not self._waiting:
+                self._current_vc = None
+                return None
+            self._active, self._waiting = self._waiting, self._active
+        request_id, vc = self._active.pop()
+        self._current_vc = float(vc)  # type: ignore[arg-type]
+        if self._expansion is not None:
+            self._window = self._base_window  # ER reset on normal dispatch
+        return self._requests.pop(request_id)
+
+    def _promote(self) -> None:
+        """SP policy: lift now-significant requests from q' into q."""
+        while self._active and self._waiting:
+            _head_id, head_vc = self._active.peek()
+            wait_id, wait_vc = self._waiting.peek()
+            if wait_vc < head_vc - self._window:  # type: ignore[operator]
+                self._waiting.pop()
+                self._active.push(wait_id, wait_vc)
+                self._promotions += 1
+            else:
+                break
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._requests.values()))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def vc_of(self, request: DiskRequest) -> float:
+        for queue in (self._active, self._waiting):
+            if request.request_id in queue:
+                return queue.priority_of(request.request_id)  # type: ignore[return-value]
+        raise KeyError(request.request_id)
+
+
+def window_from_fraction(fraction: float, vc_cells: int) -> float:
+    """Convert a window given as a fraction of the v_c space to units.
+
+    The paper sweeps ``w`` from 0% (fully-preemptive) to 100%
+    (non-preemptive) of the scheduling-space size.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    if math.isinf(fraction):
+        raise ValueError("fraction must be finite")
+    return fraction * vc_cells

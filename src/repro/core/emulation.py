@@ -1,0 +1,137 @@
+"""Section 4.2: Cascaded-SFC as a generalization of classic schedulers.
+
+"Ignoring the three stages of space-filling curves and setting w = 0 in
+the priority queue makes the Cascaded-SFC work as any one-dimensional
+disk scheduler" -- the insertion criterion becomes the algorithm.  This
+module provides that degenerate form (:class:`OneDimensionalCascaded`)
+plus ready-made emulations of FCFS, EDF, SSTF-at-insert, SCAN-EDF and
+the multi-queue scheduler, all built from Cascaded-SFC machinery alone.
+
+These are *insertion-ordered* emulations: the key is computed when the
+request arrives, exactly as Cascaded-SFC computes v_c.  Baselines that
+re-decide at dispatch time (true SSTF, SCAN) live in
+``repro.schedulers`` and serve as independent references.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.schedulers.base import Scheduler
+
+from .dispatcher import FullyPreemptiveDispatcher
+from .request import DiskRequest
+
+#: An insertion key: (request, now, head_cylinder) -> orderable value.
+KeyFunction = Callable[[DiskRequest, float, int], float]
+
+
+class OneDimensionalCascaded(Scheduler):
+    """Cascaded-SFC with all stages ignored and ``w = 0``.
+
+    The supplied ``key`` plays the role of the characterization value.
+    """
+
+    name = "cascaded-1d"
+
+    def __init__(self, key: KeyFunction, label: str | None = None) -> None:
+        self._key = key
+        self._dispatcher = FullyPreemptiveDispatcher()
+        if label:
+            self.name = label
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._dispatcher.insert(request, self._key(request, now, head_cylinder))
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        return self._dispatcher.pop()
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return self._dispatcher.pending()
+
+    def __len__(self) -> int:
+        return len(self._dispatcher)
+
+
+def emulate_fcfs() -> OneDimensionalCascaded:
+    """First-come first-served: v_c = arrival time."""
+    return OneDimensionalCascaded(
+        lambda request, now, head: request.arrival_ms,
+        label="cascaded-fcfs",
+    )
+
+
+def emulate_edf() -> OneDimensionalCascaded:
+    """Earliest deadline first: v_c = absolute deadline."""
+    return OneDimensionalCascaded(
+        lambda request, now, head: request.deadline_ms,
+        label="cascaded-edf",
+    )
+
+
+def emulate_sstf_at_insert() -> OneDimensionalCascaded:
+    """Shortest seek at insertion time: v_c = |cylinder - head|.
+
+    Equivalent to SSTF when the queue is rebuilt per batch; the true
+    dispatch-time SSTF is ``repro.schedulers.SSTFScheduler``.
+    """
+    return OneDimensionalCascaded(
+        lambda request, now, head: abs(request.cylinder - head),
+        label="cascaded-sstf",
+    )
+
+
+def emulate_scan_edf(cylinders: int) -> OneDimensionalCascaded:
+    """SCAN-EDF [Reddy & Wyllie]: deadline-major, scan-order minor.
+
+    v_c = deadline * cylinders + upward distance from the head, which
+    serves equal deadlines in one ascending sweep.
+    """
+
+    def key(request: DiskRequest, now: float, head: int) -> float:
+        upward = (request.cylinder - head) % cylinders
+        return request.deadline_ms * cylinders + upward
+
+    return OneDimensionalCascaded(key, label="cascaded-scan-edf")
+
+
+def emulate_multiqueue(levels: int, cylinders: int,
+                       priority_dim: int = 0) -> OneDimensionalCascaded:
+    """Multi-queue priority scheduler [Carey et al.]: one queue per
+    priority level, SCAN order within a queue.
+
+    v_c = level * cylinders + upward distance from the head, i.e. the
+    Sweep curve with priority on the major axis -- exactly the paper's
+    observation that multi-queue is Cascaded-SFC with only SFC3.
+    """
+
+    def key(request: DiskRequest, now: float, head: int) -> float:
+        level = min(request.priorities[priority_dim], levels - 1)
+        upward = (request.cylinder - head) % cylinders
+        return level * cylinders + upward
+
+    return OneDimensionalCascaded(key, label="cascaded-multiqueue")
+
+
+def sweep_deadline_priority(axis: str, levels: int,
+                            horizon_ms: float,
+                            priority_dim: int = 0) -> OneDimensionalCascaded:
+    """The Fig. 11 ``Sweep-X`` / ``Sweep-Y`` schedulers.
+
+    ``axis="x"``: deadline on the major axis (EDF-like).
+    ``axis="y"``: priority on the major axis (multi-queue-like),
+    deadline minor.
+    """
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+
+    def key(request: DiskRequest, now: float, head: int) -> float:
+        level = min(request.priorities[priority_dim], levels - 1)
+        slack = max(request.deadline_ms - now, 0.0)
+        if axis == "x":
+            return request.deadline_ms * levels + level
+        return level * (horizon_ms + 1.0) + min(slack, horizon_ms)
+
+    return OneDimensionalCascaded(key, label=f"sweep-{axis}")

@@ -1,0 +1,138 @@
+"""Section 4.3: extending other schedulers with Cascaded-SFC stages.
+
+Two adaptor patterns from the paper:
+
+* :class:`MultiPriorityAdapter` -- feed the D priority types through
+  SFC1 and hand the resulting *absolute priority* to a scheduler that
+  only understands a single priority (e.g. the Kamel et al. deadline-
+  driven scheduler [12]).
+* :class:`SeekAwareAdapter` -- take any scalar priority a scheduler
+  computes (e.g. the BUCKET value/deadline mapping [9]) and run it
+  through SFC3 so the extended scheduler becomes seek-aware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.schedulers.base import Scheduler
+
+from .dispatcher import FullyPreemptiveDispatcher
+from .encapsulator import PartitionedSeekStage, PrioritySFCStage
+from .request import DiskRequest
+
+
+class MultiPriorityAdapter(Scheduler):
+    """Collapse multiple priorities via SFC1 before a wrapped scheduler.
+
+    The wrapped scheduler receives requests whose priority vector has
+    been replaced by the single SFC1 output level, rescaled onto the
+    wrapped scheduler's level range.
+    """
+
+    name = "sfc1-adapter"
+
+    def __init__(self, inner: Scheduler, curve_name: str, dims: int,
+                 levels: int, *, output_levels: int | None = None) -> None:
+        self._inner = inner
+        self._stage1 = PrioritySFCStage.from_name(curve_name, dims, levels)
+        self._output_levels = output_levels or levels
+        #: Original requests by id; the inner scheduler only ever sees
+        #: the collapsed copies, callers get the originals back.
+        self._originals: dict[int, DiskRequest] = {}
+        self.name = f"sfc1+{inner.name}"
+
+    def absolute_priority(self, request: DiskRequest) -> int:
+        """The single priority level SFC1 assigns to ``request``."""
+        scalar = self._stage1.encode(request.priorities)
+        cells = self._stage1.output_cells
+        return min(scalar * self._output_levels // cells,
+                   self._output_levels - 1)
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        collapsed = request.with_priorities((self.absolute_priority(request),))
+        self._originals[request.request_id] = request
+        self._inner.submit(collapsed, now, head_cylinder)
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        picked = self._inner.next_request(now, head_cylinder)
+        if picked is None:
+            return None
+        return self._originals.pop(picked.request_id)
+
+    def pending(self) -> Iterator[DiskRequest]:
+        for collapsed in self._inner.pending():
+            yield self._originals[collapsed.request_id]
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def on_served(self, request: DiskRequest, completion_ms: float) -> None:
+        self._inner.on_served(request, completion_ms)
+
+
+#: Computes a scalar priority for a request (smaller = more urgent),
+#: e.g. the BUCKET mapping of value and deadline.
+PriorityFunction = Callable[[DiskRequest, float], float]
+
+
+def bucket_priority(levels: int = 8,
+                    horizon_ms: float = 1000.0) -> PriorityFunction:
+    """The BUCKET mapping [Haritsa et al.]: value and deadline -> one
+    scalar.  Higher-value requests get lower (more urgent) scalars;
+    within a value bucket, earlier deadlines come first.
+    """
+
+    def priority(request: DiskRequest, now: float) -> float:
+        bucket = levels - 1 - min(int(request.value), levels - 1)
+        slack = min(max(request.deadline_ms - now, 0.0), horizon_ms)
+        return bucket * (horizon_ms + 1.0) + slack
+
+    return priority
+
+
+class SeekAwareAdapter(Scheduler):
+    """Run an external scalar priority through SFC3 (Section 4.3).
+
+    Turns a seek-oblivious policy (like BUCKET) into a seek-aware one:
+    the external priority becomes the X axis of the R-partitioned seek
+    stage and the cylinder distance the Y axis.
+    """
+
+    name = "sfc3-adapter"
+
+    def __init__(self, priority_fn: PriorityFunction, cylinders: int, *,
+                 r_partitions: int = 3, x_cells: int = 64,
+                 priority_span: float = 10_000.0,
+                 label: str | None = None) -> None:
+        if priority_span <= 0:
+            raise ValueError("priority_span must be positive")
+        self._priority_fn = priority_fn
+        self._stage3 = PartitionedSeekStage(r_partitions, cylinders, x_cells)
+        self._span = priority_span
+        self._span_cells = x_cells
+        self._dispatcher = FullyPreemptiveDispatcher()
+        if label:
+            self.name = label
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        raw = self._priority_fn(request, now)
+        scaled = min(max(raw / self._span, 0.0), 1.0)
+        upstream = int(scaled * (self._span_cells - 1))
+        vc = self._stage3.encode(
+            upstream, self._span_cells, request.cylinder, head_cylinder
+        )
+        self._dispatcher.insert(request, vc)
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        return self._dispatcher.pop()
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return self._dispatcher.pending()
+
+    def __len__(self) -> int:
+        return len(self._dispatcher)

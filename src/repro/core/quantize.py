@@ -1,0 +1,114 @@
+"""Quantizers: map raw request attributes onto SFC grid coordinates.
+
+Space-filling curves order cells of a finite grid, so each scheduling
+parameter must first be quantized.  The paper's grids use 16 levels per
+priority dimension and cylinder-resolution for the seek dimension; the
+quantizers here make those choices explicit and testable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinearQuantizer:
+    """Clamp-and-scale a float in [lo, hi] onto ``bins`` integer cells."""
+
+    lo: float
+    hi: float
+    bins: int
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise ValueError("bins must be >= 1")
+        if not self.hi > self.lo:
+            raise ValueError("require hi > lo")
+
+    def __call__(self, value: float) -> int:
+        if math.isnan(value):
+            raise ValueError("cannot quantize NaN")
+        clamped = min(max(value, self.lo), self.hi)
+        cell = int((clamped - self.lo) / (self.hi - self.lo) * self.bins)
+        return min(cell, self.bins - 1)
+
+
+@dataclass(frozen=True)
+class PriorityQuantizer:
+    """Clamp an integer priority level onto ``levels`` grid cells.
+
+    Level 0 is the highest priority and maps to cell 0 so the curve
+    visits important requests first.
+    """
+
+    levels: int
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+
+    def __call__(self, level: int) -> int:
+        return min(max(int(level), 0), self.levels - 1)
+
+
+@dataclass(frozen=True)
+class DeadlineQuantizer:
+    """Quantize an absolute deadline by its remaining slack.
+
+    ``horizon_ms`` is the largest slack the grid distinguishes; anything
+    further out (including relaxed, infinite deadlines) lands in the
+    last cell, and already-expired deadlines land in cell 0 (most
+    urgent).
+    """
+
+    horizon_ms: float
+    bins: int
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise ValueError("bins must be >= 1")
+        if self.horizon_ms <= 0:
+            raise ValueError("horizon_ms must be positive")
+
+    def __call__(self, deadline_ms: float, now: float) -> int:
+        if math.isinf(deadline_ms):
+            return self.bins - 1
+        slack = deadline_ms - now
+        if slack <= 0:
+            return 0
+        cell = int(slack / self.horizon_ms * self.bins)
+        return min(cell, self.bins - 1)
+
+
+@dataclass(frozen=True)
+class CylinderDistanceQuantizer:
+    """Quantize the seek distance from the current head position.
+
+    ``Y_v`` in the paper's SFC3 formula: the difference in cylinders
+    between the head and the request.  ``directional=True`` measures in
+    the upward scan direction only (wrapping like C-SCAN), which turns a
+    batch into a single sweep; ``False`` uses the absolute distance.
+    """
+
+    cylinders: int
+    bins: int
+    directional: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise ValueError("bins must be >= 1")
+        if self.cylinders < 1:
+            raise ValueError("cylinders must be >= 1")
+
+    def __call__(self, cylinder: int, head_cylinder: int) -> int:
+        if not 0 <= cylinder < self.cylinders:
+            raise ValueError(
+                f"cylinder {cylinder} outside [0, {self.cylinders})"
+            )
+        if self.directional:
+            distance = (cylinder - head_cylinder) % self.cylinders
+        else:
+            distance = abs(cylinder - head_cylinder)
+        cell = distance * self.bins // self.cylinders
+        return min(cell, self.bins - 1)

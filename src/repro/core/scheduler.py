@@ -1,0 +1,151 @@
+"""The Cascaded-SFC scheduler: encapsulator + dispatcher.
+
+This is the paper's primary contribution, packaged behind the common
+:class:`~repro.schedulers.base.Scheduler` interface so it can be run
+head-to-head against every baseline in the same simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.schedulers.base import Scheduler
+
+from .config import CascadedSFCConfig
+from .dispatcher import (
+    ConditionallyPreemptiveDispatcher,
+    Dispatcher,
+    FullyPreemptiveDispatcher,
+    NonPreemptiveDispatcher,
+    window_from_fraction,
+)
+from .encapsulator import (
+    Encapsulator,
+    EncodeContext,
+    PartitionedSeekStage,
+    PrioritySFCStage,
+    SFC2DStage,
+    WeightedDeadlineStage,
+)
+from .request import DiskRequest
+
+
+def build_encapsulator(config: CascadedSFCConfig,
+                       cylinders: int) -> Encapsulator:
+    """Construct the stage pipeline described by ``config``."""
+    stage1 = None
+    if config.use_stage1 and config.priority_dims > 0:
+        stage1 = PrioritySFCStage.from_name(
+            config.sfc1, config.priority_dims, config.priority_levels
+        )
+
+    stage2 = None
+    if config.use_stage2:
+        if config.stage2_kind == "weighted":
+            stage2 = WeightedDeadlineStage(
+                config.f, config.deadline_horizon_ms, config.stage2_grid
+            )
+        else:
+            stage2 = SFC2DStage.for_deadline(
+                config.sfc2, config.stage2_grid, config.deadline_horizon_ms
+            )
+
+    stage3 = None
+    if config.use_stage3:
+        if config.stage3_kind == "partitioned":
+            stage3 = PartitionedSeekStage(
+                config.r_partitions, cylinders, config.stage3_x_cells,
+                directional=config.directional_seek,
+                track_head=config.seek_track_head,
+            )
+        else:
+            stage3 = SFC2DStage.for_seek(
+                config.sfc3, config.stage3_x_cells, cylinders,
+                directional=config.directional_seek,
+            )
+
+    return Encapsulator(stage1, stage2, stage3)
+
+
+def build_dispatcher(config: CascadedSFCConfig,
+                     vc_cells: int) -> Dispatcher:
+    """Construct the dispatcher described by ``config``."""
+    if config.dispatcher == "full":
+        return FullyPreemptiveDispatcher()
+    if config.dispatcher == "non":
+        return NonPreemptiveDispatcher()
+    window = window_from_fraction(config.window_fraction, vc_cells)
+    return ConditionallyPreemptiveDispatcher(
+        window,
+        expansion_factor=config.expansion_factor,
+        serve_and_promote=config.serve_and_promote,
+    )
+
+
+class CascadedSFCScheduler(Scheduler):
+    """The paper's scheduler, parameterized by :class:`CascadedSFCConfig`.
+
+    ``v_c`` is computed at insertion time from the request's priorities,
+    its deadline slack at arrival, and its distance from the head
+    position at arrival (Section 3: requests are inserted into the
+    priority queue according to their characterization value).
+    """
+
+    name = "cascaded-sfc"
+
+    def __init__(self, config: CascadedSFCConfig, cylinders: int, *,
+                 encapsulator: Encapsulator | None = None) -> None:
+        self._config = config
+        self._encapsulator = (encapsulator if encapsulator is not None
+                              else build_encapsulator(config, cylinders))
+        self._dispatcher = build_dispatcher(
+            config, self._encapsulator.output_cells
+        )
+
+    @property
+    def config(self) -> CascadedSFCConfig:
+        return self._config
+
+    @property
+    def encapsulator(self) -> Encapsulator:
+        return self._encapsulator
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        return self._dispatcher
+
+    def characterize(self, request: DiskRequest, now: float,
+                     head_cylinder: int) -> float:
+        """Expose v_c computation (used by tests and the quickstart)."""
+        ctx = EncodeContext(now_ms=now, head_cylinder=head_cylinder)
+        return self._encapsulator.characterize(request, ctx)
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        vc = self.characterize(request, now, head_cylinder)
+        self._dispatcher.insert(request, vc)
+
+    def submit_batch(self, requests: Sequence[DiskRequest], now: float,
+                     head_cylinder: int) -> None:
+        """Submit a burst of requests with vectorized v_c computation.
+
+        Semantically identical to calling :meth:`submit` in order
+        (Section 6's bursty arrivals); the characterization values are
+        computed for the whole batch at once (see
+        :mod:`repro.core.batch`).
+        """
+        from .batch import characterize_batch
+        ctx = EncodeContext(now_ms=now, head_cylinder=head_cylinder)
+        values = characterize_batch(self._encapsulator, requests, ctx)
+        for request, vc in zip(requests, values):
+            self._dispatcher.insert(request, float(vc))
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        return self._dispatcher.pop()
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return self._dispatcher.pending()
+
+    def __len__(self) -> int:
+        return len(self._dispatcher)

@@ -1,0 +1,32 @@
+"""Disk substrate: zoned geometry, seek/rotation models, RAID-5."""
+
+from .disk import (
+    FILE_BLOCK_BYTES,
+    QUANTUM_XP32150,
+    DiskModel,
+    ServiceRecord,
+    make_xp32150_disk,
+    make_xp32150_geometry,
+)
+from .geometry import DiskGeometry, Zone, make_zones
+from .raid import DiskOp, Raid5Array
+from .rotation import RotationModel
+from .seek import LinearSeekModel, SeekModel, fit_seek_model
+
+__all__ = [
+    "FILE_BLOCK_BYTES",
+    "QUANTUM_XP32150",
+    "DiskGeometry",
+    "DiskModel",
+    "DiskOp",
+    "LinearSeekModel",
+    "Raid5Array",
+    "RotationModel",
+    "SeekModel",
+    "ServiceRecord",
+    "Zone",
+    "fit_seek_model",
+    "make_xp32150_disk",
+    "make_xp32150_geometry",
+    "make_zones",
+]

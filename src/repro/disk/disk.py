@@ -1,0 +1,170 @@
+"""The disk model: geometry + seek + rotation + transfer.
+
+``DiskModel`` is the single component every scheduler experiment shares:
+it knows how long serving a request takes and tracks the arm position.
+``QUANTUM_XP32150`` reproduces the paper's Table 1 disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from .geometry import DiskGeometry, make_zones
+from .rotation import RotationModel
+from .seek import SeekModel, fit_seek_model
+
+#: Paper Table 1: file block size used by the PanaViss server.
+FILE_BLOCK_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """Timing breakdown of one request service."""
+
+    seek_ms: float
+    latency_ms: float
+    transfer_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.seek_ms + self.latency_ms + self.transfer_ms
+
+
+class DiskModel:
+    """A single disk with a movable arm.
+
+    Parameters
+    ----------
+    geometry:
+        Zoned layout of the platters.
+    seek_model:
+        Maps cylinder distance to seek time.
+    rotation:
+        Spindle model for rotational latency.
+    deterministic_latency:
+        When True (the default for experiments), rotational latency is
+        always the expected half revolution, so two schedulers serving
+        the same requests see identical timings.
+    """
+
+    def __init__(self, geometry: DiskGeometry, seek_model: SeekModel,
+                 rotation: RotationModel, *,
+                 deterministic_latency: bool = True,
+                 rng: Random | None = None) -> None:
+        self._geometry = geometry
+        self._seek = seek_model
+        self._rotation = rotation
+        self._deterministic = deterministic_latency
+        self._rng = rng or Random(0)
+        self._head = 0
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        return self._geometry
+
+    @property
+    def seek_model(self) -> SeekModel:
+        return self._seek
+
+    @property
+    def rotation(self) -> RotationModel:
+        return self._rotation
+
+    @property
+    def head_cylinder(self) -> int:
+        """Current arm position."""
+        return self._head
+
+    def reset(self, cylinder: int = 0) -> None:
+        """Park the arm at ``cylinder`` (start of an experiment)."""
+        self._geometry._check_cylinder(cylinder)
+        self._head = cylinder
+
+    def seek_time(self, to_cylinder: int) -> float:
+        """Seek time from the current head position, in ms."""
+        return self._seek.seek_time(self._head, to_cylinder)
+
+    def transfer_time_ms(self, nbytes: int, cylinder: int) -> float:
+        """Media transfer time for ``nbytes`` at ``cylinder``.
+
+        The sustained rate is one track per revolution at the zone's
+        sectors-per-track, the usual ZBR approximation.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        spt = self._geometry.sectors_per_track(cylinder)
+        bytes_per_rev = spt * self._geometry.sector_size
+        revolutions = nbytes / bytes_per_rev
+        return revolutions * self._rotation.revolution_ms
+
+    def service_time_ms(self, cylinder: int, nbytes: int) -> float:
+        """Predicted total time to serve a request (no state change)."""
+        return self.preview(cylinder, nbytes).total_ms
+
+    def preview(self, cylinder: int, nbytes: int) -> ServiceRecord:
+        """Timing breakdown for serving a request, without moving the arm."""
+        self._geometry._check_cylinder(cylinder)
+        seek = self._seek.seek_time(self._head, cylinder)
+        latency = (self._rotation.average_latency_ms if self._deterministic
+                   else self._rotation.sample_latency_ms(self._rng))
+        transfer = self.transfer_time_ms(nbytes, cylinder)
+        return ServiceRecord(seek, latency, transfer)
+
+    def serve(self, cylinder: int, nbytes: int) -> ServiceRecord:
+        """Serve a request: seek there, wait rotation, transfer.
+
+        Moves the arm to ``cylinder`` and returns the timing breakdown.
+        """
+        record = self.preview(cylinder, nbytes)
+        self._head = cylinder
+        return record
+
+    @property
+    def sustained_rate_mb_s(self) -> float:
+        """Sustained outer-zone transfer rate in MB/s (data-sheet style)."""
+        spt = self._geometry.zones[0].sectors_per_track
+        bytes_per_rev = spt * self._geometry.sector_size
+        revs_per_s = self._rotation.rpm / 60.0
+        return bytes_per_rev * revs_per_s / 1e6
+
+
+def make_xp32150_geometry() -> DiskGeometry:
+    """Geometry of the paper's Quantum XP32150-class disk (Table 1).
+
+    3832 cylinders, 10 tracks per cylinder, 16 zones, 512-byte sectors,
+    ~2.1 GB formatted capacity.  Sectors per track run linearly from 132
+    (outer) to 82 (inner), which lands the capacity at 2.1 GB.
+    """
+    return DiskGeometry(
+        cylinders=3832,
+        tracks_per_cylinder=10,
+        sector_size=512,
+        zones=make_zones(3832, 16, outer_spt=132, inner_spt=82),
+    )
+
+
+def make_xp32150_disk(*, deterministic_latency: bool = True,
+                      rng: Random | None = None) -> DiskModel:
+    """The paper's disk: Table 1 parameters, calibrated seek model."""
+    geometry = make_xp32150_geometry()
+    seek = fit_seek_model(geometry.cylinders, average_ms=8.5, maximum_ms=18.0)
+    rotation = RotationModel(rpm=7200)
+    return DiskModel(geometry, seek, rotation,
+                     deterministic_latency=deterministic_latency, rng=rng)
+
+
+#: Data-sheet summary of the Table 1 disk, used by the Table 1 bench.
+QUANTUM_XP32150 = {
+    "type": "Quantum XP32150",
+    "cylinders": 3832,
+    "tracks_per_cylinder": 10,
+    "zones": 16,
+    "sector_size": 512,
+    "rotation_rpm": 7200,
+    "average_seek_ms": 8.5,
+    "max_seek_ms": 18.0,
+    "capacity_gb": 2.1,
+    "file_block_kb": 64,
+    "raid": "5 disks / RAID 5 (4 data + 1 parity)",
+}

@@ -1,0 +1,123 @@
+"""RAID-5 array model (4 data + 1 parity, per Table 1).
+
+The PanaViss server stripes video files over a five-disk RAID-5 set.
+The array model maps logical file blocks to (disk, physical block) with
+rotating parity, and expands logical reads/writes into the per-disk
+operations a scheduler on each disk would actually see (including the
+read-modify-write pair a small write costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class DiskOp:
+    """One physical operation on one member disk."""
+
+    disk: int
+    block: int
+    is_write: bool
+    is_parity: bool = False
+
+
+class Raid5Array:
+    """Left-symmetric RAID-5 block mapping.
+
+    Parameters
+    ----------
+    disks:
+        Number of member disks (data + parity).  The paper uses 5.
+    stripe_blocks:
+        Blocks per stripe unit on each disk; 1 keeps the mapping at the
+        file-block granularity of the paper.
+    """
+
+    def __init__(self, disks: int = 5, stripe_blocks: int = 1) -> None:
+        if disks < 3:
+            raise ValueError("RAID-5 needs at least 3 disks")
+        if stripe_blocks < 1:
+            raise ValueError("stripe_blocks must be positive")
+        self._disks = disks
+        self._stripe_blocks = stripe_blocks
+
+    @property
+    def disks(self) -> int:
+        return self._disks
+
+    @property
+    def data_disks(self) -> int:
+        return self._disks - 1
+
+    def parity_disk(self, stripe: int) -> int:
+        """Member disk holding the parity of ``stripe`` (rotating)."""
+        if stripe < 0:
+            raise ValueError("stripe must be non-negative")
+        return (self._disks - 1 - stripe) % self._disks
+
+    def map_block(self, logical_block: int) -> tuple[int, int]:
+        """Map a logical block to ``(disk, physical_block)``."""
+        if logical_block < 0:
+            raise ValueError("logical_block must be non-negative")
+        unit, offset = divmod(logical_block, self._stripe_blocks)
+        stripe, lane = divmod(unit, self.data_disks)
+        parity = self.parity_disk(stripe)
+        # Left-symmetric layout: data lanes start just after the parity
+        # disk and wrap around it.
+        disk = (parity + 1 + lane) % self._disks
+        physical = stripe * self._stripe_blocks + offset
+        return disk, physical
+
+    def read_ops(self, logical_block: int) -> tuple[DiskOp, ...]:
+        """Physical operations for reading one logical block."""
+        disk, block = self.map_block(logical_block)
+        return (DiskOp(disk, block, is_write=False),)
+
+    def write_ops(self, logical_block: int) -> tuple[DiskOp, ...]:
+        """Physical operations for a small (read-modify-write) write.
+
+        Touches the data disk and the parity disk, each with a read
+        followed by a write -- four operations total, the classic RAID-5
+        small-write penalty.
+        """
+        disk, block = self.map_block(logical_block)
+        stripe = (logical_block // self._stripe_blocks) // self.data_disks
+        parity = self.parity_disk(stripe)
+        pblock = (stripe * self._stripe_blocks
+                  + logical_block % self._stripe_blocks)
+        return (
+            DiskOp(disk, block, is_write=False),
+            DiskOp(parity, pblock, is_write=False, is_parity=True),
+            DiskOp(disk, block, is_write=True),
+            DiskOp(parity, pblock, is_write=True, is_parity=True),
+        )
+
+    def degraded_read_ops(self, logical_block: int,
+                          failed_disk: int) -> tuple[DiskOp, ...]:
+        """Operations to reconstruct a block when ``failed_disk`` is down."""
+        if not 0 <= failed_disk < self._disks:
+            raise ValueError(f"failed_disk {failed_disk} out of range")
+        disk, block = self.map_block(logical_block)
+        if disk != failed_disk:
+            return (DiskOp(disk, block, is_write=False),)
+        # Read the same physical block from every surviving member and
+        # XOR-reconstruct.
+        return tuple(
+            DiskOp(d, block, is_write=False, is_parity=True)
+            for d in range(self._disks) if d != failed_disk
+        )
+
+    def stripe_of(self, logical_block: int) -> int:
+        """Stripe number containing ``logical_block``."""
+        return (logical_block // self._stripe_blocks) // self.data_disks
+
+    def blocks_by_disk(self, logical_blocks: Sequence[int]
+                       ) -> dict[int, list[int]]:
+        """Group logical blocks by the member disk that stores them."""
+        grouped: dict[int, list[int]] = {d: [] for d in range(self._disks)}
+        for block in logical_blocks:
+            disk, physical = self.map_block(block)
+            grouped[disk].append(physical)
+        return grouped

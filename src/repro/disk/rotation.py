@@ -1,0 +1,38 @@
+"""Rotational latency model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+
+@dataclass(frozen=True)
+class RotationModel:
+    """Spindle model: latency to reach a target sector, times in ms."""
+
+    rpm: float
+
+    def __post_init__(self) -> None:
+        if self.rpm <= 0:
+            raise ValueError("rpm must be positive")
+
+    @property
+    def revolution_ms(self) -> float:
+        """Time for one full revolution."""
+        return 60_000.0 / self.rpm
+
+    @property
+    def average_latency_ms(self) -> float:
+        """Expected latency: half a revolution."""
+        return self.revolution_ms / 2.0
+
+    def sample_latency_ms(self, rng: Random | None = None) -> float:
+        """Latency to an uncorrelated target sector.
+
+        With an RNG, draws uniformly over one revolution; without one,
+        returns the expectation (deterministic mode used by experiments
+        that must be exactly reproducible across schedulers).
+        """
+        if rng is None:
+            return self.average_latency_ms
+        return rng.random() * self.revolution_ms

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per figure/table of the paper.
+
+Each module exposes a ``Spec`` dataclass (with a ``quick()`` variant
+for benchmarking), a ``run(spec)`` function returning printable
+tables, and a ``main()`` entry point.  See DESIGN.md section 3 for the
+experiment index.
+"""
+
+from . import (
+    fig1_curves,
+    fig5_priority_inversion,
+    fig6_scalability,
+    fig7_fairness,
+    fig8_f_tradeoff,
+    fig9_selectivity,
+    fig10_r_tradeoff,
+    fig11_aggregate_losses,
+    table1_disk_model,
+)
+from .common import Table, compare, fresh_disk_service, percent_of, replay
+
+__all__ = [
+    "Table",
+    "compare",
+    "fig10_r_tradeoff",
+    "fig1_curves",
+    "fig11_aggregate_losses",
+    "fig5_priority_inversion",
+    "fig6_scalability",
+    "fig7_fairness",
+    "fig8_f_tradeoff",
+    "fig9_selectivity",
+    "fresh_disk_service",
+    "percent_of",
+    "replay",
+    "table1_disk_model",
+]

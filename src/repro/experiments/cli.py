@@ -1,0 +1,129 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig5 [--quick]
+    python -m repro.experiments run all [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    fig1_curves,
+    fig5_priority_inversion,
+    fig6_scalability,
+    fig7_fairness,
+    fig8_f_tradeoff,
+    fig9_selectivity,
+    fig10_r_tradeoff,
+    fig11_aggregate_losses,
+    table1_disk_model,
+)
+from .common import Table
+
+
+def _tables_of(result: object) -> list[Table]:
+    """Collect every Table an experiment result carries."""
+    if isinstance(result, Table):
+        return [result]
+    tables: list[Table] = []
+    for attr in vars(result).values() if hasattr(result, "__dict__") else []:
+        if isinstance(attr, Table):
+            tables.append(attr)
+        elif isinstance(attr, list):
+            tables.extend(t for t in attr if isinstance(t, Table))
+    return tables
+
+
+def _run_spec(module, quick: bool):
+    spec_cls = next(
+        (getattr(module, name) for name in dir(module)
+         if name.endswith("Spec")),
+        None,
+    )
+    if spec_cls is None:
+        return module.run()
+    spec = spec_cls()
+    if quick:
+        spec = spec.quick()
+    return module.run(spec)
+
+
+EXPERIMENTS: dict[str, Callable[[bool], object]] = {
+    "table1": lambda quick: table1_disk_model.run(),
+    "fig1": lambda quick: _run_spec(fig1_curves, quick),
+    "fig5": lambda quick: _run_spec(fig5_priority_inversion, quick),
+    "fig6": lambda quick: _run_spec(fig6_scalability, quick),
+    "fig7": lambda quick: _run_spec(fig7_fairness, quick),
+    "fig8": lambda quick: _run_spec(fig8_f_tradeoff, quick),
+    "fig9": lambda quick: _run_spec(fig9_selectivity, quick),
+    "fig10": lambda quick: _run_spec(fig10_r_tradeoff, quick),
+    "fig11": lambda quick: _run_spec(fig11_aggregate_losses, quick),
+}
+
+DESCRIPTIONS = {
+    "table1": "disk model calibration (Table 1)",
+    "fig1": "curve structural properties",
+    "fig5": "priority inversion vs window size",
+    "fig6": "scalability with QoS dimensionality",
+    "fig7": "fairness across priority dimensions",
+    "fig8": "deadline balance factor f",
+    "fig9": "selectivity of deadline misses",
+    "fig10": "seek partition count R",
+    "fig11": "editing-server aggregate losses",
+}
+
+
+def run_experiment(name: str, quick: bool,
+                   out=sys.stdout, csv_dir: str | None = None) -> None:
+    """Run one experiment; print its tables, optionally export CSV."""
+    result = EXPERIMENTS[name](quick)
+    tables = _tables_of(result)
+    for table in tables:
+        print(table.render(), file=out)
+        print(file=out)
+    if csv_dir is not None:
+        from .export import export_tables
+        for path in export_tables(tables, csv_dir, prefix=f"{name}-"):
+            print(f"wrote {path}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    runner.add_argument("--quick", action="store_true",
+                        help="benchmark-sized instance")
+    runner.add_argument("--csv", metavar="DIR", default=None,
+                        help="also export every table as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:8s} {DESCRIPTIONS[name]}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name}: {DESCRIPTIONS[name]}")
+        run_experiment(name, args.quick, csv_dir=args.csv)
+        print(f"--- {name} done in "
+              f"{time.perf_counter() - started:.1f}s")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Shared harness utilities for the per-figure experiment modules.
+
+Every experiment follows the same recipe: generate one workload, replay
+it against several schedulers under identical service models, and
+report the paper's metric, normalized the way the paper normalizes it.
+This module holds the replay helper and the plain-text table printer
+whose rows the benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import DiskModel, make_xp32150_disk
+from repro.schedulers.base import Scheduler
+from repro.sim.server import SimulationResult, run_simulation
+from repro.sim.service import DiskService, ServiceModel
+
+SchedulerFactory = Callable[[], Scheduler]
+ServiceFactory = Callable[[], ServiceModel]
+
+
+def replay(requests: Sequence[DiskRequest],
+           scheduler_factory: SchedulerFactory,
+           service_factory: ServiceFactory,
+           *,
+           drop_expired: bool = False,
+           priority_levels: int = 16) -> SimulationResult:
+    """Run one scheduler over the workload with a fresh service model."""
+    return run_simulation(
+        requests,
+        scheduler_factory(),
+        service_factory(),
+        drop_expired=drop_expired,
+        priority_levels=priority_levels,
+    )
+
+
+def compare(requests: Sequence[DiskRequest],
+            factories: Mapping[str, SchedulerFactory],
+            service_factory: ServiceFactory,
+            *,
+            drop_expired: bool = False,
+            priority_levels: int = 16) -> dict[str, SimulationResult]:
+    """Replay the same workload against every scheduler in ``factories``."""
+    return {
+        label: replay(requests, factory, service_factory,
+                      drop_expired=drop_expired,
+                      priority_levels=priority_levels)
+        for label, factory in factories.items()
+    }
+
+
+def fresh_disk_service(*, nbytes_hint: int | None = None
+                       ) -> Callable[[], DiskService]:
+    """Factory of factories: a new Table 1 disk per run, parked at 0."""
+
+    def make() -> DiskService:
+        disk: DiskModel = make_xp32150_disk()
+        disk.reset(0)
+        return DiskService(disk)
+
+    return make
+
+
+@dataclass
+class Table:
+    """A printable experiment table (one per paper figure)."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [[str(h) for h in self.headers]]
+        cells += [[_fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in cells)
+                  for i in range(len(self.headers))]
+        lines = [self.title, "=" * len(self.title)]
+        for j, row in enumerate(cells):
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+            if j == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column (used by bench assertions)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def percent_of(value: float, reference: float) -> float:
+    """``value`` as a percentage of ``reference`` (0 when ref is 0)."""
+    if reference == 0:
+        return 0.0
+    return 100.0 * value / reference
+
+
+def geometric_spread(values: Iterable[float]) -> float:
+    """max/min ratio of positive values; crude shape-check helper."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 1.0
+    return max(vals) / min(vals)

@@ -1,0 +1,77 @@
+"""Export experiment tables to CSV for downstream plotting.
+
+The harness renders plain-text tables; anyone regenerating the paper's
+plots wants machine-readable series.  ``table_to_csv`` serializes one
+:class:`~repro.experiments.common.Table`, ``export_tables`` writes a
+directory of them with slugged file names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import re
+from pathlib import Path
+from typing import Iterable
+
+from .common import Table
+
+
+def slugify(title: str) -> str:
+    """File-name-safe slug of a table title."""
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug or "table"
+
+
+def table_to_csv(table: Table) -> str:
+    """CSV text of one table (header row + data rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.headers)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_table(table: Table, path: str | Path) -> Path:
+    """Write one table to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(table_to_csv(table))
+    return target
+
+
+def export_tables(tables: Iterable[Table], directory: str | Path,
+                  *, prefix: str = "") -> list[Path]:
+    """Write every table into ``directory`` (created if needed)."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for table in tables:
+        name = f"{prefix}{slugify(table.title)}.csv"
+        written.append(write_table(table, target / name))
+    return written
+
+
+def read_back(path: str | Path) -> Table:
+    """Parse a CSV produced by :func:`write_table` into a Table.
+
+    Numeric cells come back as int/float; everything else stays a
+    string.  The title is the file stem.
+    """
+    target = Path(path)
+    with open(target, newline="") as handle:
+        reader = csv.reader(handle)
+        headers = next(reader)
+        table = Table(target.stem, tuple(headers))
+        for row in reader:
+            table.add_row(*[_coerce(cell) for cell in row])
+    return table
+
+
+def _coerce(cell: str) -> object:
+    for cast in (int, float):
+        try:
+            return cast(cell)
+        except ValueError:
+            continue
+    return cell

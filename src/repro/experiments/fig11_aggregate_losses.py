@@ -1,0 +1,124 @@
+"""Figure 11: aggregate weighted losses in the non-linear editing server.
+
+Section 6 setting: 68-91 users per disk, each an MPEG-1 1.5 Mbps stream
+read or written in 64 KB blocks, bursty arrivals served in batches,
+eight priority levels normally distributed, deadlines uniform in
+750-1500 ms.  A request not served by its deadline is lost (dropped).
+The metric is the weighted sum of per-level miss ratios with weights
+decreasing linearly so the top level costs 11x the bottom one.
+
+Five schedulers:
+
+* **FCFS** -- the do-nothing reference;
+* **Sweep-X** -- deadline on the major axis (traditional EDF);
+* **Sweep-Y** -- priority on the major axis (the multi-queue policy);
+* **Hilbert** and **Diagonal** -- 2-D curves over (priority, deadline),
+  the balanced trade-offs the paper advocates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.disk.disk import make_xp32150_geometry
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.metrics import linear_weights
+from repro.workloads.multimedia import VideoServerWorkload
+
+from .common import Table, fresh_disk_service, replay
+
+CYLINDERS = 3832
+LEVELS = 8
+DEADLINE_RANGE = (750.0, 1500.0)
+
+
+def _curve_scheduler(sfc2: str) -> Callable[[], Scheduler]:
+    """A Section 6 scheduler: one priority dim fed to a 2-D SFC2."""
+    config = CascadedSFCConfig(
+        priority_dims=1,
+        priority_levels=LEVELS,
+        sfc1="sweep",  # 1-D passthrough: priority enters SFC2 directly
+        use_stage2=True,
+        stage2_kind="sfc",
+        sfc2=sfc2,
+        stage2_grid=LEVELS,
+        deadline_horizon_ms=DEADLINE_RANGE[1],
+        use_stage3=False,
+        dispatcher="full",
+    )
+    return lambda: CascadedSFCScheduler(config, cylinders=CYLINDERS)
+
+
+def section6_schedulers() -> dict[str, Callable[[], Scheduler]]:
+    """The five Figure 11 schedulers, keyed by paper label.
+
+    Sweep-X (deadline-major) uses the Sweep curve whose X axis carries
+    the priority; Sweep-Y (priority-major) is its transpose, which this
+    library calls the C-Scan curve.
+    """
+    return {
+        "fcfs": FCFSScheduler,
+        "sweep-x": _curve_scheduler("sweep"),
+        "sweep-y": _curve_scheduler("cscan"),
+        "hilbert": _curve_scheduler("hilbert"),
+        "diagonal": _curve_scheduler("diagonal"),
+    }
+
+
+@dataclass(frozen=True)
+class Fig11Spec:
+    """Defaults follow Section 6."""
+
+    user_counts: tuple[int, ...] = (68, 74, 80, 85, 91)
+    blocks_per_user: int = 25
+    write_fraction: float = 0.25
+    seed: int = 2004
+
+    def quick(self) -> "Fig11Spec":
+        return Fig11Spec(user_counts=(68, 91), blocks_per_user=12)
+
+
+def run(spec: Fig11Spec = Fig11Spec()) -> Table:
+    geometry = make_xp32150_geometry()
+    weights = linear_weights(LEVELS)
+    schedulers = section6_schedulers()
+
+    table = Table(
+        title=("Figure 11 -- aggregate weighted losses vs number of "
+               "users"),
+        headers=("scheduler",) + tuple(
+            f"users={u}" for u in spec.user_counts
+        ),
+    )
+    series: dict[str, list[float]] = {name: [] for name in schedulers}
+    for users in spec.user_counts:
+        workload = VideoServerWorkload(
+            users=users,
+            blocks_per_user=spec.blocks_per_user,
+            priority_levels=LEVELS,
+            deadline_range_ms=DEADLINE_RANGE,
+            write_fraction=spec.write_fraction,
+        )
+        requests = workload.generate_streams(spec.seed, geometry)
+        for name, factory in schedulers.items():
+            result = replay(
+                requests, factory, fresh_disk_service(),
+                drop_expired=True,  # lost frames are worthless
+                priority_levels=LEVELS,
+            )
+            series[name].append(result.metrics.weighted_loss(weights))
+    for name in schedulers:
+        table.add_row(name, *series[name])
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 1: the seven two-dimensional space-filling curves.
+
+The paper's Figure 1 is an illustration; what the evaluation actually
+uses are the curves' structural properties.  This module regenerates
+them as a table: per-dimension irregularity (the inversion potential),
+continuity breaks, locality (mean neighbour gap) and clustering
+(average curve segments per query box) -- the measures of the
+companion analyses the paper cites (refs [18, 19]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sfc import (
+    PAPER_CURVES,
+    average_clusters,
+    continuity_breaks,
+    get_curve,
+    irregularity_profile,
+    mean_neighbour_gap,
+)
+
+from .common import Table
+
+
+@dataclass(frozen=True)
+class Fig1Spec:
+    """Grid size for the property computation (exhaustive measures)."""
+
+    curves: tuple[str, ...] = PAPER_CURVES
+    side: int = 16
+    cluster_box: int = 4
+
+    def quick(self) -> "Fig1Spec":
+        return Fig1Spec(curves=self.curves, side=8, cluster_box=2)
+
+
+def run(spec: Fig1Spec = Fig1Spec()) -> Table:
+    table = Table(
+        title=(f"Figure 1 -- curve properties on a {spec.side}x"
+               f"{spec.side} grid"),
+        headers=("curve", "irregularity d0", "irregularity d1",
+                 "continuity breaks", "mean gap",
+                 f"clusters/{spec.cluster_box}x{spec.cluster_box} box"),
+    )
+    for name in spec.curves:
+        curve = get_curve(name, 2, spec.side)
+        irregularity = irregularity_profile(curve)
+        table.add_row(
+            name,
+            irregularity[0],
+            irregularity[1],
+            continuity_breaks(curve),
+            round(mean_neighbour_gap(curve), 2),
+            round(average_clusters(curve, spec.cluster_box), 2),
+        )
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

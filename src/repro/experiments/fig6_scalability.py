@@ -1,0 +1,97 @@
+"""Figure 6: scalability of SFC1 with the number of QoS parameters.
+
+Same setting as Figure 5 (relaxed deadlines, transfer-dominated), but
+the dimensionality of the priority space sweeps from 2 to 12 with 16
+priority levels per dimension.  Mean priority inversion is reported per
+(curve, dimensionality); the paper's point is that the encapsulator --
+and the good curves' advantage -- scales with dimensionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.service import constant_service
+from repro.workloads.poisson import PoissonWorkload
+
+from .common import Table, percent_of, replay
+
+
+@dataclass(frozen=True)
+class Fig6Spec:
+    """Defaults follow Section 5.1: 16 levels/dim, 25 ms interarrival."""
+
+    curves: tuple[str, ...] = (
+        "sweep", "cscan", "scan", "gray", "hilbert", "spiral", "diagonal"
+    )
+    dimensionalities: tuple[int, ...] = (2, 4, 6, 8, 10, 12)
+    count: int = 1200
+    mean_interarrival_ms: float = 25.0
+    service_ms: float = 50.0
+    priority_levels: int = 16
+    window_fraction: float = 0.1
+    seed: int = 2004
+
+    def quick(self) -> "Fig6Spec":
+        return Fig6Spec(
+            curves=self.curves,
+            dimensionalities=(2, 6, 12),
+            count=300,
+        )
+
+
+def run(spec: Fig6Spec = Fig6Spec()) -> Table:
+    """Figure 6 table: % of FIFO inversions per (curve, dimensionality)."""
+    table = Table(
+        title="Figure 6 -- priority inversion (% of FIFO) vs dimensionality",
+        headers=("curve",) + tuple(
+            f"D={d}" for d in spec.dimensionalities
+        ),
+    )
+    series: dict[str, list[float]] = {curve: [] for curve in spec.curves}
+    for dims in spec.dimensionalities:
+        workload = PoissonWorkload(
+            count=spec.count,
+            mean_interarrival_ms=spec.mean_interarrival_ms,
+            priority_dims=dims,
+            priority_levels=spec.priority_levels,
+            deadline_range_ms=None,
+        )
+        requests = workload.generate(spec.seed)
+        service = lambda: constant_service(spec.service_ms)
+        fifo = replay(requests, FCFSScheduler, service,
+                      priority_levels=spec.priority_levels)
+        fifo_inversions = fifo.metrics.total_inversions
+        for curve in spec.curves:
+            config = CascadedSFCConfig(
+                priority_dims=dims,
+                priority_levels=spec.priority_levels,
+                sfc1=curve,
+                use_stage2=False,
+                use_stage3=False,
+                dispatcher="conditional",
+                window_fraction=spec.window_fraction,
+            )
+            result = replay(
+                requests,
+                lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
+                service,
+                priority_levels=spec.priority_levels,
+            )
+            series[curve].append(
+                percent_of(result.metrics.total_inversions, fifo_inversions)
+            )
+    for curve in spec.curves:
+        table.add_row(curve, *series[curve])
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Figure 7: fairness of SFC1 across priority dimensions.
+
+Four-dimensional priorities, 25 ms mean interarrival.  Two views:
+
+* (a) the standard deviation of per-dimension inversion counts versus
+  the window size -- lower is fairer;
+* (b) the most *favored* dimension's inversion count (as % of FIFO's
+  count in that dimension) -- monotone curves like Sweep/C-Scan have a
+  zero-inversion pet dimension, which is exactly why their standard
+  deviation is terrible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sfc.registry import PAPER_CURVES
+from repro.sim.service import constant_service
+from repro.util.stats import stddev
+from repro.workloads.poisson import PoissonWorkload
+
+from .common import Table, percent_of, replay
+
+
+@dataclass(frozen=True)
+class Fig7Spec:
+    """Defaults follow Section 5.1's fairness experiment."""
+
+    curves: tuple[str, ...] = PAPER_CURVES
+    window_fractions: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    count: int = 1200
+    mean_interarrival_ms: float = 25.0
+    service_ms: float = 50.0
+    priority_dims: int = 4
+    priority_levels: int = 16
+    seed: int = 2004
+
+    def quick(self) -> "Fig7Spec":
+        return Fig7Spec(
+            curves=self.curves,
+            window_fractions=(0.0, 0.4, 1.0),
+            count=300,
+        )
+
+
+@dataclass
+class Fig7Result:
+    """Both panels of Figure 7."""
+
+    stddev_table: Table
+    favored_table: Table
+
+
+def run(spec: Fig7Spec = Fig7Spec()) -> Fig7Result:
+    workload = PoissonWorkload(
+        count=spec.count,
+        mean_interarrival_ms=spec.mean_interarrival_ms,
+        priority_dims=spec.priority_dims,
+        priority_levels=spec.priority_levels,
+        deadline_range_ms=None,
+    )
+    requests = workload.generate(spec.seed)
+    service = lambda: constant_service(spec.service_ms)
+    fifo = replay(requests, FCFSScheduler, service,
+                  priority_levels=spec.priority_levels)
+    fifo_by_dim = fifo.metrics.inversions_by_dim
+
+    window_headers = tuple(
+        f"w={int(w * 100)}%" for w in spec.window_fractions
+    )
+    stddev_table = Table(
+        title=("Figure 7a -- std-dev of per-dimension inversion "
+               "(% of FIFO per dim)"),
+        headers=("curve",) + window_headers,
+    )
+    favored_table = Table(
+        title=("Figure 7b -- favored dimension inversion (% of FIFO in "
+               "that dim)"),
+        headers=("curve",) + window_headers,
+    )
+
+    for curve in spec.curves:
+        std_row: list[object] = [curve]
+        fav_row: list[object] = [curve]
+        for fraction in spec.window_fractions:
+            config = CascadedSFCConfig(
+                priority_dims=spec.priority_dims,
+                priority_levels=spec.priority_levels,
+                sfc1=curve,
+                use_stage2=False,
+                use_stage3=False,
+                dispatcher="conditional",
+                window_fraction=fraction,
+            )
+            result = replay(
+                requests,
+                lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
+                service,
+                priority_levels=spec.priority_levels,
+            )
+            per_dim_pct = [
+                percent_of(count, fifo_by_dim[k])
+                for k, count in enumerate(result.metrics.inversions_by_dim)
+            ]
+            std_row.append(stddev(per_dim_pct))
+            fav_row.append(min(per_dim_pct))
+        stddev_table.add_row(*std_row)
+        favored_table.add_row(*fav_row)
+
+    return Fig7Result(stddev_table, favored_table)
+
+
+def main() -> None:
+    result = run()
+    print(result.stddev_table.render())
+    print()
+    print(result.favored_table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Table 1: the disk model.
+
+Checks that the built disk model reproduces every data-sheet number of
+the paper's Table 1 (Quantum XP32150): cylinder count, zones, sector
+size, rotation speed, seek calibration, capacity, block size and the
+RAID-5 organization.
+"""
+
+from __future__ import annotations
+
+from repro.disk.disk import (
+    FILE_BLOCK_BYTES,
+    QUANTUM_XP32150,
+    make_xp32150_disk,
+)
+from repro.disk.raid import Raid5Array
+
+from .common import Table
+
+
+def run() -> Table:
+    disk = make_xp32150_disk()
+    geometry = disk.geometry
+    seek = disk.seek_model
+    raid = Raid5Array(disks=5)
+
+    table = Table(
+        title="Table 1 -- disk model (paper value vs built model)",
+        headers=("parameter", "paper", "model"),
+    )
+    table.add_row("cylinders", QUANTUM_XP32150["cylinders"],
+                  geometry.cylinders)
+    table.add_row("tracks/cylinder", QUANTUM_XP32150["tracks_per_cylinder"],
+                  geometry.tracks_per_cylinder)
+    table.add_row("zones", QUANTUM_XP32150["zones"], len(geometry.zones))
+    table.add_row("sector size (B)", QUANTUM_XP32150["sector_size"],
+                  geometry.sector_size)
+    table.add_row("rotation (RPM)", QUANTUM_XP32150["rotation_rpm"],
+                  disk.rotation.rpm)
+    table.add_row("average seek (ms)", QUANTUM_XP32150["average_seek_ms"],
+                  round(seek.expected_random_seek_ms(), 2))
+    table.add_row("max seek (ms)", QUANTUM_XP32150["max_seek_ms"],
+                  round(seek.max_seek_ms, 2))
+    table.add_row("capacity (GB)", QUANTUM_XP32150["capacity_gb"],
+                  round(geometry.capacity_bytes / 1e9, 2))
+    table.add_row("file block (KB)", QUANTUM_XP32150["file_block_kb"],
+                  FILE_BLOCK_BYTES // 1024)
+    table.add_row("RAID members", 5, raid.disks)
+    table.add_row("RAID data disks", 4, raid.data_disks)
+    return table
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

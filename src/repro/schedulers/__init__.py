@@ -1,0 +1,45 @@
+"""Baseline disk schedulers from the paper's related-work section."""
+
+from .base import Scheduler, SchedulerError
+from .bucket import BucketScheduler
+from .cello import CelloScheduler, default_classifier
+from .edf import EDFScheduler
+from .fcfs import FCFSScheduler
+from .fd_scan import FDScanScheduler, distance_estimator
+from .kamel import KamelScheduler
+from .multiqueue import MultiQueueScheduler
+from .registry import (
+    BASELINES,
+    SchedulerContext,
+    make_baseline,
+)
+from .scan import BatchedCScanScheduler, CScanScheduler, ScanScheduler
+from .scan_edf import ScanEDFScheduler
+from .scan_rt import ScanRTScheduler
+from .ssedo import SSEDOScheduler, SSEDVScheduler
+from .sstf import SSTFScheduler
+
+__all__ = [
+    "BASELINES",
+    "BatchedCScanScheduler",
+    "BucketScheduler",
+    "CScanScheduler",
+    "CelloScheduler",
+    "EDFScheduler",
+    "FCFSScheduler",
+    "FDScanScheduler",
+    "KamelScheduler",
+    "MultiQueueScheduler",
+    "ScanEDFScheduler",
+    "ScanRTScheduler",
+    "ScanScheduler",
+    "Scheduler",
+    "SchedulerContext",
+    "SchedulerError",
+    "SSEDOScheduler",
+    "SSEDVScheduler",
+    "SSTFScheduler",
+    "default_classifier",
+    "distance_estimator",
+    "make_baseline",
+]

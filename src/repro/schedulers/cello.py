@@ -1,0 +1,163 @@
+"""Cello-style two-level disk scheduling framework [Shenoy & Vin,
+SIGMETRICS 1998] -- reference [21] of the paper.
+
+Cello separates *class-independent* bandwidth allocation from
+*class-specific* ordering: each application class (interactive,
+real-time, throughput/best-effort) keeps its own queue with its own
+discipline, and a coarse-grained allocator divides disk time between
+the classes in proportion to configured weights.
+
+This is a faithful simplification: the allocator tracks the disk time
+each class has consumed and always serves the class with the largest
+weighted deficit among the non-empty ones; class queues use EDF
+(real-time), FCFS (interactive) and C-SCAN (throughput) by default.
+Requests are routed to classes by a pluggable classifier (by default:
+finite deadline -> real-time, write or small -> interactive, else
+throughput).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+from .edf import EDFScheduler
+from .fcfs import FCFSScheduler
+from .scan import CScanScheduler
+
+#: Assigns a request to a class name.
+Classifier = Callable[[DiskRequest], str]
+
+
+def default_classifier(request: DiskRequest) -> str:
+    """Deadline -> real-time; writes/small requests -> interactive;
+    bulk reads -> throughput."""
+    if math.isfinite(request.deadline_ms):
+        return "real-time"
+    if request.is_write or request.nbytes <= 64 * 1024:
+        return "interactive"
+    return "throughput"
+
+
+@dataclass
+class _ClassState:
+    scheduler: Scheduler
+    weight: float
+    consumed_ms: float = 0.0
+
+    def deficit(self, total_consumed: float) -> float:
+        """How far below its proportional share this class is running."""
+        if total_consumed == 0.0:
+            return self.weight
+        return self.weight - self.consumed_ms / total_consumed
+
+
+class CelloScheduler(Scheduler):
+    """Two-level proportional-share scheduler over class queues.
+
+    Parameters
+    ----------
+    cylinders:
+        Disk size (for the throughput class's C-SCAN).
+    weights:
+        Relative share of disk time per class name.  Defaults to
+        real-time 0.5, interactive 0.3, throughput 0.2.
+    classifier:
+        Maps each request to one of the class names.
+    service_estimate_ms:
+        Charge per dispatched request, used to track per-class
+        consumption (Cello proper measures actual disk time; the
+        simulator's scheduler interface sees only dispatch events, so
+        a per-request estimate keeps the allocator online).
+    """
+
+    name = "cello"
+
+    def __init__(self, cylinders: int, *,
+                 weights: Mapping[str, float] | None = None,
+                 classifier: Classifier = default_classifier,
+                 service_estimate_ms: float = 15.0) -> None:
+        if cylinders < 1:
+            raise ValueError("cylinders must be positive")
+        if service_estimate_ms <= 0:
+            raise ValueError("service_estimate_ms must be positive")
+        if weights is None:
+            weights = {
+                "real-time": 0.5, "interactive": 0.3, "throughput": 0.2,
+            }
+        weights = dict(weights)
+        if not weights:
+            raise ValueError("need at least one class")
+        total = sum(weights.values())
+        if total <= 0 or any(w < 0 for w in weights.values()):
+            raise ValueError("weights must be non-negative, sum > 0")
+
+        self._classifier = classifier
+        self._estimate = service_estimate_ms
+        self._classes: dict[str, _ClassState] = {}
+        for cls, weight in weights.items():
+            self._classes[cls] = _ClassState(
+                scheduler=self._default_queue(cls, cylinders),
+                weight=weight / total,
+            )
+
+    @staticmethod
+    def _default_queue(cls: str, cylinders: int) -> Scheduler:
+        if cls == "real-time":
+            return EDFScheduler()
+        if cls == "interactive":
+            return FCFSScheduler()
+        return CScanScheduler(cylinders)
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(self._classes)
+
+    def consumed_ms(self, cls: str) -> float:
+        """Disk time charged to ``cls`` so far."""
+        return self._classes[cls].consumed_ms
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        cls = self._classifier(request)
+        if cls not in self._classes:
+            raise KeyError(
+                f"classifier produced unknown class {cls!r}; known: "
+                f"{sorted(self._classes)}"
+            )
+        self._classes[cls].scheduler.submit(request, now, head_cylinder)
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        total = sum(state.consumed_ms for state in self._classes.values())
+        candidates = [
+            (name, state) for name, state in self._classes.items()
+            if len(state.scheduler)
+        ]
+        if not candidates:
+            return None
+        # Largest weighted deficit first; stable by class name.
+        name, state = max(
+            candidates,
+            key=lambda item: (item[1].deficit(total), item[0]),
+        )
+        request = state.scheduler.next_request(now, head_cylinder)
+        state.consumed_ms += self._estimate
+        return request
+
+    def pending(self) -> Iterator[DiskRequest]:
+        for state in self._classes.values():
+            yield from state.scheduler.pending()
+
+    def __len__(self) -> int:
+        return sum(len(state.scheduler)
+                   for state in self._classes.values())
+
+    def on_served(self, request: DiskRequest,
+                  completion_ms: float) -> None:
+        for state in self._classes.values():
+            state.scheduler.on_served(request, completion_ms)

@@ -1,0 +1,44 @@
+"""EDF (earliest deadline first) baseline [Liu & Layland].
+
+The real-time reference of the paper: deadline-miss counts are
+normalized to EDF.  Ignores cylinder positions entirely, which is
+exactly why its disk utilization suffers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.request import DiskRequest
+from repro.util.priority_queue import IndexedPriorityQueue
+
+from .base import Scheduler
+
+
+class EDFScheduler(Scheduler):
+    """Serve the request with the earliest absolute deadline."""
+
+    name = "edf"
+
+    def __init__(self) -> None:
+        self._queue: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        self._requests: dict[int, DiskRequest] = {}
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._queue.push(request.request_id,
+                         (request.deadline_ms, request.arrival_ms))
+        self._requests[request.request_id] = request
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._queue:
+            return None
+        request_id, _key = self._queue.pop()
+        return self._requests.pop(request_id)
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._requests.values()))
+
+    def __len__(self) -> int:
+        return len(self._requests)

@@ -1,0 +1,39 @@
+"""FCFS (first-come first-served) baseline.
+
+The fairness reference of the paper: priority inversion counts are
+reported as percentages of FCFS/FIFO's count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Serve requests strictly in arrival order."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._queue: deque[DiskRequest] = deque()
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._queue.append(request)
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._queue))
+
+    def __len__(self) -> int:
+        return len(self._queue)

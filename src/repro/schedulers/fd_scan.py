@@ -1,0 +1,93 @@
+"""FD-SCAN baseline [Abbott & Garcia-Molina, RTSS 1990].
+
+Feasible-Deadline SCAN: at each scheduling point, find the pending
+request with the earliest *feasible* deadline (one the arm can still
+reach in time), aim the scan at it, and serve requests encountered on
+the way.  Requests whose deadlines are estimated infeasible do not
+steer the arm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+#: Estimates how long reaching + serving a request takes, in ms.
+ServiceEstimator = Callable[[DiskRequest, int], float]
+
+
+def distance_estimator(ms_per_cylinder: float = 0.005,
+                       fixed_ms: float = 10.0) -> ServiceEstimator:
+    """Simple affine travel-time estimate used for feasibility checks."""
+
+    def estimate(request: DiskRequest, head_cylinder: int) -> float:
+        return fixed_ms + ms_per_cylinder * abs(request.cylinder - head_cylinder)
+
+    return estimate
+
+
+class FDScanScheduler(Scheduler):
+    """Scan toward the earliest feasible deadline."""
+
+    name = "fd-scan"
+
+    def __init__(self, cylinders: int,
+                 estimator: ServiceEstimator | None = None) -> None:
+        if cylinders < 1:
+            raise ValueError("cylinders must be positive")
+        self._cylinders = cylinders
+        self._estimator = estimator or distance_estimator()
+        self._pending: dict[int, DiskRequest] = {}
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._pending[request.request_id] = request
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._pending:
+            return None
+        target = self._earliest_feasible(now, head_cylinder)
+        if target is None:
+            # No feasible deadline: fall back to plain nearest-first so
+            # the queue keeps draining.
+            target = min(
+                self._pending.values(),
+                key=lambda r: (abs(r.cylinder - head_cylinder), r.request_id),
+            )
+        # Serve the nearest request lying between the head and the target
+        # (inclusive): requests "on the way" in the adapted direction.
+        lo = min(head_cylinder, target.cylinder)
+        hi = max(head_cylinder, target.cylinder)
+        en_route = [
+            r for r in self._pending.values() if lo <= r.cylinder <= hi
+        ]
+        best = min(
+            en_route,
+            key=lambda r: (abs(r.cylinder - head_cylinder),
+                           r.deadline_ms, r.request_id),
+        )
+        return self._pending.pop(best.request_id)
+
+    def _earliest_feasible(self, now: float, head: int
+                           ) -> DiskRequest | None:
+        best: DiskRequest | None = None
+        for request in self._pending.values():
+            if math.isinf(request.deadline_ms):
+                continue
+            eta = now + self._estimator(request, head)
+            if eta > request.deadline_ms:
+                continue
+            if best is None or request.deadline_ms < best.deadline_ms:
+                best = request
+        return best
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._pending.values()))
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,115 @@
+"""Deadline-driven multi-priority baseline [Kamel, Niranjan &
+Ghandeharizadeh, ICDE 2000] -- reference [12] of the paper.
+
+An arriving request is inserted at its SCAN position if that insertion
+does not (by estimate) violate the deadline of any protected pending
+request.  Otherwise, the scheduler evicts the *lowest-priority* queued
+request to a best-effort tail -- sacrificing its deadline -- and
+retries, trading low-priority latency for high-priority deadlines.
+Handles a single priority type; the paper extends it to multiple
+priorities via SFC1
+(:class:`repro.core.extensions.MultiPriorityAdapter`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+ServiceTimeFn = Callable[[DiskRequest], float]
+
+
+class KamelScheduler(Scheduler):
+    """SCAN insertion with lowest-priority eviction on conflict.
+
+    The queue has two regions: the SCAN-ordered head, whose deadlines
+    the scheduler protects, and a best-effort tail holding evicted (or
+    unschedulable) requests, served afterwards in eviction order.
+    """
+
+    name = "kamel"
+
+    def __init__(self, cylinders: int,
+                 service_time_fn: ServiceTimeFn | None = None,
+                 *, default_service_ms: float = 20.0,
+                 max_evictions_per_insert: int = 8) -> None:
+        if cylinders < 1:
+            raise ValueError("cylinders must be positive")
+        if max_evictions_per_insert < 0:
+            raise ValueError("max_evictions_per_insert must be >= 0")
+        self._cylinders = cylinders
+        self._service_time = service_time_fn or (
+            lambda request: default_service_ms
+        )
+        self._max_evictions = max_evictions_per_insert
+        self._queue: list[DiskRequest] = []  # protected, SCAN order
+        self._tail: list[DiskRequest] = []  # sacrificed, best effort
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        for _ in range(self._max_evictions + 1):
+            position = self._scan_position(request, head_cylinder)
+            if self._insertion_safe(position, request, now):
+                self._queue.insert(position, request)
+                return
+            victim = self._lowest_priority_index()
+            if victim is None:
+                break
+            # Sacrifice the least important request: its deadline is no
+            # longer protected and it drops to the best-effort tail.
+            self._tail.append(self._queue.pop(victim))
+        self._tail.append(request)
+
+    def _scan_position(self, request: DiskRequest, head: int) -> int:
+        key = (request.cylinder - head) % self._cylinders
+        for i, queued in enumerate(self._queue):
+            if (queued.cylinder - head) % self._cylinders > key:
+                return i
+        return len(self._queue)
+
+    def _insertion_safe(self, position: int, request: DiskRequest,
+                        now: float) -> bool:
+        """Would inserting at ``position`` keep protected deadlines?"""
+        eta = now
+        for queued in self._queue[:position]:
+            eta += self._service_time(queued)
+        eta += self._service_time(request)
+        if eta > request.deadline_ms:
+            return False
+        for queued in self._queue[position:]:
+            eta += self._service_time(queued)
+            if eta > queued.deadline_ms:
+                return False
+        return True
+
+    def _lowest_priority_index(self) -> int | None:
+        """Index of the lowest-priority protected request."""
+        if not self._queue:
+            return None
+        # Highest numeric level = lowest priority.
+        return max(
+            range(len(self._queue)),
+            key=lambda i: (self._level(self._queue[i]), i),
+        )
+
+    @staticmethod
+    def _level(request: DiskRequest) -> int:
+        return request.priorities[0] if request.priorities else 0
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if self._queue:
+            return self._queue.pop(0)
+        if self._tail:
+            return self._tail.pop(0)
+        return None
+
+    def pending(self) -> Iterator[DiskRequest]:
+        yield from list(self._queue)
+        yield from list(self._tail)
+
+    def __len__(self) -> int:
+        return len(self._queue) + len(self._tail)

@@ -1,0 +1,70 @@
+"""Multi-queue priority baseline [Carey, Jauhari & Livny, VLDB 1989].
+
+One queue per priority level; the scheduler always serves the highest
+non-empty priority queue, and requests within a queue are served in
+SCAN order.  The paper identifies this algorithm as Cascaded-SFC with
+only SFC3 (priority on one axis, cylinder on the other).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+
+class MultiQueueScheduler(Scheduler):
+    """Strict priority levels, C-SCAN within a level."""
+
+    name = "multiqueue"
+
+    def __init__(self, cylinders: int, levels: int,
+                 *, priority_dim: int = 0) -> None:
+        if cylinders < 1:
+            raise ValueError("cylinders must be positive")
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        self._cylinders = cylinders
+        self._levels = levels
+        self._dim = priority_dim
+        self._queues: list[dict[int, DiskRequest]] = [
+            {} for _ in range(levels)
+        ]
+        self._count = 0
+
+    def _level_of(self, request: DiskRequest) -> int:
+        if not request.priorities:
+            return self._levels - 1
+        return min(max(request.priorities[self._dim], 0), self._levels - 1)
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._queues[self._level_of(request)][request.request_id] = request
+        self._count += 1
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        for queue in self._queues:
+            if not queue:
+                continue
+            best = min(
+                queue.values(),
+                key=lambda r: (
+                    (r.cylinder - head_cylinder) % self._cylinders,
+                    r.arrival_ms,
+                    r.request_id,
+                ),
+            )
+            del queue[best.request_id]
+            self._count -= 1
+            return best
+        return None
+
+    def pending(self) -> Iterator[DiskRequest]:
+        for queue in self._queues:
+            yield from list(queue.values())
+
+    def __len__(self) -> int:
+        return self._count

@@ -1,0 +1,79 @@
+"""Factory registry for all baseline schedulers.
+
+Keeps experiment code declarative: a scheduler is named by a string and
+built with the workload's context (cylinder count, priority levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .base import Scheduler
+from .bucket import BucketScheduler
+from .cello import CelloScheduler
+from .edf import EDFScheduler
+from .fcfs import FCFSScheduler
+from .fd_scan import FDScanScheduler
+from .kamel import KamelScheduler
+from .multiqueue import MultiQueueScheduler
+from .scan import BatchedCScanScheduler, CScanScheduler, ScanScheduler
+from .scan_edf import ScanEDFScheduler
+from .scan_rt import ScanRTScheduler
+from .ssedo import SSEDOScheduler, SSEDVScheduler
+from .sstf import SSTFScheduler
+
+
+@dataclass(frozen=True)
+class SchedulerContext:
+    """Workload facts a factory may need."""
+
+    cylinders: int = 3832
+    priority_levels: int = 8
+    default_service_ms: float = 20.0
+
+
+SchedulerFactory = Callable[[SchedulerContext], Scheduler]
+
+BASELINES: Mapping[str, SchedulerFactory] = {
+    "fcfs": lambda ctx: FCFSScheduler(),
+    "sstf": lambda ctx: SSTFScheduler(),
+    "scan": lambda ctx: ScanScheduler(ctx.cylinders, look=False),
+    "look": lambda ctx: ScanScheduler(ctx.cylinders, look=True),
+    "cscan": lambda ctx: CScanScheduler(ctx.cylinders),
+    "batched-cscan": lambda ctx: BatchedCScanScheduler(ctx.cylinders),
+    "cello": lambda ctx: CelloScheduler(
+        ctx.cylinders, service_estimate_ms=ctx.default_service_ms
+    ),
+    "edf": lambda ctx: EDFScheduler(),
+    "scan-edf": lambda ctx: ScanEDFScheduler(ctx.cylinders),
+    "fd-scan": lambda ctx: FDScanScheduler(ctx.cylinders),
+    "scan-rt": lambda ctx: ScanRTScheduler(
+        ctx.cylinders, default_service_ms=ctx.default_service_ms
+    ),
+    "ssedo": lambda ctx: SSEDOScheduler(ctx.cylinders),
+    "ssedv": lambda ctx: SSEDVScheduler(ctx.cylinders),
+    "multiqueue": lambda ctx: MultiQueueScheduler(
+        ctx.cylinders, ctx.priority_levels
+    ),
+    "bucket": lambda ctx: BucketScheduler(
+        buckets=ctx.priority_levels, max_value=float(ctx.priority_levels)
+    ),
+    "kamel": lambda ctx: KamelScheduler(
+        ctx.cylinders, default_service_ms=ctx.default_service_ms
+    ),
+}
+
+
+def make_baseline(name: str,
+                  context: SchedulerContext | None = None) -> Scheduler:
+    """Instantiate the baseline registered under ``name``."""
+    ctx = context or SchedulerContext()
+    try:
+        factory = BASELINES[name]
+    except KeyError:
+        known = ", ".join(sorted(BASELINES))
+        raise KeyError(
+            f"unknown scheduler {name!r}; known baselines: {known}"
+        ) from None
+    return factory(ctx)

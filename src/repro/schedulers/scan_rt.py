@@ -1,0 +1,78 @@
+"""SCAN-RT baseline [Kamel & Ito].
+
+An arriving request is inserted at its SCAN position in the service
+list *only if* doing so does not (by the scheduler's estimate) push any
+already-queued request past its deadline; otherwise it is appended to
+the tail.  The queue is then served front to back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+#: Estimated service time for one request, in ms.
+ServiceTimeFn = Callable[[DiskRequest], float]
+
+
+class ScanRTScheduler(Scheduler):
+    """SCAN order with deadline-safe insertion."""
+
+    name = "scan-rt"
+
+    def __init__(self, cylinders: int,
+                 service_time_fn: ServiceTimeFn | None = None,
+                 *, default_service_ms: float = 20.0) -> None:
+        if cylinders < 1:
+            raise ValueError("cylinders must be positive")
+        self._cylinders = cylinders
+        self._service_time = service_time_fn or (
+            lambda request: default_service_ms
+        )
+        self._queue: list[DiskRequest] = []
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        position = self._scan_position(request, head_cylinder)
+        if self._insertion_safe(position, request, now):
+            self._queue.insert(position, request)
+        else:
+            self._queue.append(request)
+
+    def _scan_position(self, request: DiskRequest, head: int) -> int:
+        """Index where the request belongs in one upward C-SCAN sweep."""
+        key = (request.cylinder - head) % self._cylinders
+        for i, queued in enumerate(self._queue):
+            if (queued.cylinder - head) % self._cylinders > key:
+                return i
+        return len(self._queue)
+
+    def _insertion_safe(self, position: int, request: DiskRequest,
+                        now: float) -> bool:
+        """Would inserting at ``position`` keep every deadline feasible?"""
+        eta = now
+        for queued in self._queue[:position]:
+            eta += self._service_time(queued)
+        eta += self._service_time(request)
+        if eta > request.deadline_ms:
+            return False
+        for queued in self._queue[position:]:
+            eta += self._service_time(queued)
+            if eta > queued.deadline_ms:
+                return False
+        return True
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._queue:
+            return None
+        return self._queue.pop(0)
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._queue))
+
+    def __len__(self) -> int:
+        return len(self._queue)

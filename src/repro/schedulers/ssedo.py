@@ -1,0 +1,121 @@
+"""SSEDO / SSEDV baselines [Chen, Stankovic, Kurose & Towsley, 1991].
+
+Shortest-Seek-and-Earliest-Deadline by Ordering (SSEDO) and by Value
+(SSEDV) blend urgency with seek distance:
+
+* SSEDO ranks the pending requests by deadline and scores request ``i``
+  as ``alpha^rank_i * seek_i`` -- a large deadline rank discounts the
+  seek penalty, so urgent requests win unless a much closer request
+  exists.
+* SSEDV uses the deadline *value* (remaining slack) directly:
+  ``score = alpha * slack + (1 - alpha) * seek_norm``.
+
+Both serve the minimum-score request.  ``window`` restricts attention
+to the ``window`` earliest-deadline requests, as in the original work.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+
+class _SeekDeadlineBase(Scheduler):
+    """Shared pending-set plumbing for the SSEDO/SSEDV pair."""
+
+    def __init__(self, cylinders: int, window: int) -> None:
+        if cylinders < 1:
+            raise ValueError("cylinders must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._cylinders = cylinders
+        self._window = window
+        self._pending: dict[int, DiskRequest] = {}
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._pending[request.request_id] = request
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._pending.values()))
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def _candidates(self) -> list[DiskRequest]:
+        """The ``window`` earliest-deadline pending requests."""
+        ordered = sorted(
+            self._pending.values(),
+            key=lambda r: (r.deadline_ms, r.arrival_ms, r.request_id),
+        )
+        return ordered[: self._window]
+
+    def _seek_norm(self, request: DiskRequest, head: int) -> float:
+        return abs(request.cylinder - head) / self._cylinders
+
+
+class SSEDOScheduler(_SeekDeadlineBase):
+    """Seek discounted by deadline *ordering*."""
+
+    name = "ssedo"
+
+    def __init__(self, cylinders: int, *, alpha: float = 1.5,
+                 window: int = 8) -> None:
+        super().__init__(cylinders, window)
+        if alpha < 1.0:
+            raise ValueError("alpha must be >= 1")
+        self._alpha = alpha
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._pending:
+            return None
+        candidates = self._candidates()
+        best = min(
+            (
+                (self._alpha ** rank
+                 * max(self._seek_norm(r, head_cylinder), 1e-9),
+                 r.request_id, r)
+                for rank, r in enumerate(candidates)
+            ),
+        )[2]
+        return self._pending.pop(best.request_id)
+
+
+class SSEDVScheduler(_SeekDeadlineBase):
+    """Seek blended with deadline *value* (slack)."""
+
+    name = "ssedv"
+
+    def __init__(self, cylinders: int, *, alpha: float = 0.8,
+                 window: int = 8, slack_scale_ms: float = 1000.0) -> None:
+        super().__init__(cylinders, window)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must lie in [0, 1]")
+        if slack_scale_ms <= 0:
+            raise ValueError("slack_scale_ms must be positive")
+        self._alpha = alpha
+        self._slack_scale = slack_scale_ms
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._pending:
+            return None
+        candidates = self._candidates()
+
+        def score(request: DiskRequest) -> float:
+            slack = request.deadline_ms - now
+            if math.isinf(slack):
+                slack_norm = 1.0
+            else:
+                slack_norm = min(max(slack, 0.0), self._slack_scale)
+                slack_norm /= self._slack_scale
+            seek_norm = self._seek_norm(request, head_cylinder)
+            return self._alpha * slack_norm + (1.0 - self._alpha) * seek_norm
+
+        best = min(candidates, key=lambda r: (score(r), r.request_id))
+        return self._pending.pop(best.request_id)

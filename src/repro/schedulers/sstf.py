@@ -1,0 +1,43 @@
+"""SSTF (shortest seek time first) baseline.
+
+Greedy disk-utilization reference: at each dispatch, serve the pending
+request closest to the current head position.  Ties break by arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.request import DiskRequest
+
+from .base import Scheduler
+
+
+class SSTFScheduler(Scheduler):
+    """Dispatch-time greedy nearest-cylinder policy."""
+
+    name = "sstf"
+
+    def __init__(self) -> None:
+        self._pending: dict[int, DiskRequest] = {}
+
+    def submit(self, request: DiskRequest, now: float,
+               head_cylinder: int) -> None:
+        self._pending[request.request_id] = request
+
+    def next_request(self, now: float, head_cylinder: int
+                     ) -> DiskRequest | None:
+        if not self._pending:
+            return None
+        best = min(
+            self._pending.values(),
+            key=lambda r: (abs(r.cylinder - head_cylinder),
+                           r.arrival_ms, r.request_id),
+        )
+        return self._pending.pop(best.request_id)
+
+    def pending(self) -> Iterator[DiskRequest]:
+        return iter(list(self._pending.values()))
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,69 @@
+"""Space-filling curve library.
+
+Implements the seven curves of the paper's Figure 1 (Sweep, C-Scan,
+Scan/zigzag, Gray, Hilbert, Spiral, Diagonal) plus Peano, each with both
+directions of the cell <-> curve-position mapping, together with the
+curve-quality analysis measures used to explain the scheduling results.
+"""
+
+from .analysis import (
+    average_clusters,
+    cluster_count,
+    continuity_breaks,
+    irregularity,
+    irregularity_profile,
+    is_continuous,
+    mean_neighbour_gap,
+    monotone_dimensions,
+    summarize,
+    visits_every_cell,
+)
+from .base import CurveDomainError, SpaceFillingCurve
+from .diagonal import DiagonalCurve
+from .gray import GrayCurve
+from .hilbert import HilbertCurve
+from .peano import PeanoCurve
+from .registry import ANY_DIMS_CURVES, CURVES, PAPER_CURVES, get_curve
+from .scan import ScanCurve
+from .spiral import SpiralCurve
+from .sweep import CScanCurve, SweepCurve
+from .vectorized import batch_index, has_vectorized_path
+from .transforms import (
+    GluedCurve,
+    PermutedCurve,
+    ReflectedCurve,
+    ReversedCurve,
+)
+
+__all__ = [
+    "ANY_DIMS_CURVES",
+    "CURVES",
+    "CScanCurve",
+    "CurveDomainError",
+    "DiagonalCurve",
+    "GluedCurve",
+    "GrayCurve",
+    "HilbertCurve",
+    "PAPER_CURVES",
+    "PeanoCurve",
+    "PermutedCurve",
+    "ReflectedCurve",
+    "ReversedCurve",
+    "ScanCurve",
+    "SpaceFillingCurve",
+    "SpiralCurve",
+    "SweepCurve",
+    "continuity_breaks",
+    "get_curve",
+    "irregularity",
+    "irregularity_profile",
+    "is_continuous",
+    "mean_neighbour_gap",
+    "monotone_dimensions",
+    "summarize",
+    "visits_every_cell",
+    "average_clusters",
+    "batch_index",
+    "cluster_count",
+    "has_vectorized_path",
+]

@@ -1,0 +1,208 @@
+"""Analysis utilities for space-filling curve orders.
+
+These implement the curve-quality measures the paper leans on when
+explaining its results (refs [18, 19]: Mokbel & Aref, CIKM 2001;
+Mokbel, Aref & Kamel, GeoInformatica 2003):
+
+* **Irregularity** -- for a dimension ``k``, the number of ordered pairs
+  of cells that the curve visits in *decreasing* ``k`` order.  A curve
+  with zero irregularity in ``k`` never causes a priority inversion when
+  dimension ``k`` holds a priority-like parameter.
+* **Continuity breaks** -- steps of the curve whose endpoints are not
+  grid neighbours (L1 distance > 1).
+* **Locality** -- mean curve-distance between grid-adjacent cells; lower
+  means better clustering.
+
+All functions enumerate the curve and are intended for small grids
+(analysis / testing), not for the scheduling hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .base import SpaceFillingCurve
+
+
+def _count_inversions(values: Sequence[int]) -> int:
+    """Number of pairs i < j with values[i] > values[j] (merge count)."""
+
+    def sort_count(segment: list[int]) -> tuple[list[int], int]:
+        n = len(segment)
+        if n <= 1:
+            return segment, 0
+        mid = n // 2
+        left, a = sort_count(segment[:mid])
+        right, b = sort_count(segment[mid:])
+        merged: list[int] = []
+        inv = a + b
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if left[i] <= right[j]:
+                merged.append(left[i])
+                i += 1
+            else:
+                inv += len(left) - i
+                merged.append(right[j])
+                j += 1
+        merged.extend(left[i:])
+        merged.extend(right[j:])
+        return merged, inv
+
+    return sort_count(list(values))[1]
+
+
+def irregularity(curve: SpaceFillingCurve, dim: int) -> int:
+    """Pairs of cells visited in decreasing order of dimension ``dim``."""
+    if not 0 <= dim < curve.dims:
+        raise ValueError(f"dim {dim} outside [0, {curve.dims})")
+    coords = [pt[dim] for pt in curve.walk()]
+    return _count_inversions(coords)
+
+
+def irregularity_profile(curve: SpaceFillingCurve) -> tuple[int, ...]:
+    """Irregularity of every dimension, as a tuple."""
+    return tuple(irregularity(curve, k) for k in range(curve.dims))
+
+
+def continuity_breaks(curve: SpaceFillingCurve) -> int:
+    """Number of consecutive curve steps that jump (L1 distance > 1)."""
+    breaks = 0
+    previous: tuple[int, ...] | None = None
+    for pt in curve.walk():
+        if previous is not None:
+            dist = sum(abs(a - b) for a, b in zip(previous, pt))
+            if dist > 1:
+                breaks += 1
+        previous = pt
+    return breaks
+
+
+def is_continuous(curve: SpaceFillingCurve) -> bool:
+    """True when every curve step moves to a grid neighbour."""
+    return continuity_breaks(curve) == 0
+
+
+def mean_neighbour_gap(curve: SpaceFillingCurve) -> float:
+    """Mean |index difference| between grid-adjacent cells (locality).
+
+    A perfectly local order would keep neighbours close along the curve;
+    the theoretical minimum for this measure is 1.0.
+    """
+    total = 0
+    pairs = 0
+    for i, pt in enumerate(curve.walk()):
+        for k in range(curve.dims):
+            if pt[k] + 1 < curve.side:
+                neighbour = list(pt)
+                neighbour[k] += 1
+                total += abs(curve.index(neighbour) - i)
+                pairs += 1
+    if pairs == 0:
+        return 0.0
+    return total / pairs
+
+
+def visits_every_cell(curve: SpaceFillingCurve) -> bool:
+    """True when the curve is a bijection over its grid (sanity check)."""
+    seen: set[tuple[int, ...]] = set()
+    for pt in curve.walk():
+        if pt in seen:
+            return False
+        seen.add(pt)
+    return len(seen) == len(curve)
+
+
+def monotone_dimensions(curve: SpaceFillingCurve) -> tuple[int, ...]:
+    """Dimensions along which the curve is non-decreasing (zero irregularity)."""
+    return tuple(
+        k for k, inv in enumerate(irregularity_profile(curve)) if inv == 0
+    )
+
+
+def summarize(curve: SpaceFillingCurve) -> dict[str, object]:
+    """One-stop property summary used by the analysis example/bench."""
+    return {
+        "name": curve.name,
+        "dims": curve.dims,
+        "side": curve.side,
+        "irregularity": irregularity_profile(curve),
+        "continuity_breaks": continuity_breaks(curve),
+        "mean_neighbour_gap": round(mean_neighbour_gap(curve), 3),
+    }
+
+
+def cluster_count(curve: SpaceFillingCurve,
+                  lows: Sequence[int], highs: Sequence[int]) -> int:
+    """Number of contiguous curve runs covering a query box.
+
+    The clustering measure of the authors' companion analysis
+    (GeoInformatica 2003, ref [19]): how many separate curve segments
+    a rectangular region decomposes into.  One cluster means the curve
+    sweeps the region in a single visit; disk-wise, one cluster = one
+    sequential run.
+
+    ``lows``/``highs`` give the inclusive per-dimension bounds.
+    """
+    if len(lows) != curve.dims or len(highs) != curve.dims:
+        raise ValueError("bounds must have one entry per dimension")
+    for low, high in zip(lows, highs):
+        if not 0 <= low <= high < curve.side:
+            raise ValueError(f"invalid bounds [{low}, {high}]")
+    inside: set[int] = set()
+
+    def fill(prefix: list[int], dim: int) -> None:
+        if dim == curve.dims:
+            inside.add(curve.index(prefix))
+            return
+        for value in range(lows[dim], highs[dim] + 1):
+            fill(prefix + [value], dim + 1)
+
+    fill([], 0)
+    # Count maximal runs of consecutive indexes.
+    return sum(1 for i in inside if i - 1 not in inside)
+
+
+def average_clusters(curve: SpaceFillingCurve, box_side: int) -> float:
+    """Mean cluster count over every axis-aligned box of ``box_side``.
+
+    Exhaustive over all placements; intended for small grids.  Lower is
+    better (Hilbert's celebrated property).
+    """
+    if not 1 <= box_side <= curve.side:
+        raise ValueError("box_side must lie in [1, side]")
+    positions = curve.side - box_side + 1
+    total = 0
+    count = 0
+
+    def sweep(prefix: list[int], dim: int) -> None:
+        nonlocal total, count
+        if dim == curve.dims:
+            lows = tuple(prefix)
+            highs = tuple(p + box_side - 1 for p in prefix)
+            total += cluster_count(curve, lows, highs)
+            count += 1
+            return
+        for origin in range(positions):
+            sweep(prefix + [origin], dim + 1)
+
+    sweep([], 0)
+    return total / count if count else 0.0
+
+
+def pairwise_footrule(order_a: Iterable[tuple[int, ...]],
+                      order_b: Iterable[tuple[int, ...]]) -> int:
+    """Spearman footrule distance between two cell orders.
+
+    Measures how differently two curves schedule the same grid: the sum
+    of |position difference| over all cells.  Zero means identical orders.
+    """
+    pos_a = {pt: i for i, pt in enumerate(order_a)}
+    total = 0
+    count = 0
+    for i, pt in enumerate(order_b):
+        total += abs(pos_a[pt] - i)
+        count += 1
+    if count != len(pos_a):
+        raise ValueError("orders cover different cell sets")
+    return total

@@ -1,0 +1,79 @@
+"""Gray-code space-filling curve.
+
+The Gray curve interleaves the bits of the coordinates into a single
+word and interprets that word as a *reflected Gray code*; the curve
+position is the Gray code's rank.  Consecutive positions differ in one
+interleaved bit, i.e. in exactly one coordinate by a power of two, which
+gives the curve its clustered, locally-jumpy shape (Figure 1(d) of the
+paper).
+
+Requires ``side`` to be a power of two.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import SpaceFillingCurve, require_power_of_two
+
+
+def gray_encode(value: int) -> int:
+    """Return the reflected-Gray codeword of rank ``value``."""
+    return value ^ (value >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Return the rank of the reflected-Gray codeword ``code``."""
+    value = 0
+    while code:
+        value ^= code
+        code >>= 1
+    return value
+
+
+def interleave_bits(coords: Sequence[int], order: int) -> int:
+    """Interleave ``order`` bits of each coordinate into one word.
+
+    Bit ``b`` of coordinate ``k`` lands at position ``b * dims + k`` so
+    that the most significant interleaved bits come from the high bits of
+    the coordinates, cycling through dimensions.
+    """
+    dims = len(coords)
+    word = 0
+    for b in range(order - 1, -1, -1):
+        for k in range(dims):
+            word = (word << 1) | ((coords[k] >> b) & 1)
+    return word
+
+
+def deinterleave_bits(word: int, dims: int, order: int) -> tuple[int, ...]:
+    """Inverse of :func:`interleave_bits`."""
+    coords = [0] * dims
+    for b in range(order - 1, -1, -1):
+        for k in range(dims):
+            bit = (word >> (b * dims + (dims - 1 - k))) & 1
+            coords[k] |= bit << b
+    return tuple(coords)
+
+
+class GrayCurve(SpaceFillingCurve):
+    """Bit-interleaved reflected-Gray-code order."""
+
+    name = "gray"
+
+    def __init__(self, dims: int, side: int) -> None:
+        super().__init__(dims, side)
+        self._order = require_power_of_two(side, self.name)
+
+    @property
+    def order(self) -> int:
+        """Bits per coordinate."""
+        return self._order
+
+    def index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        return gray_decode(interleave_bits(pt, self._order))
+
+    def point(self, index: int) -> tuple[int, ...]:
+        idx = self._check_index(index)
+        return deinterleave_bits(gray_encode(idx), self.dims, self._order)

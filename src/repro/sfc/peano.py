@@ -1,0 +1,96 @@
+"""Peano space-filling curve (2-D, base 3).
+
+Peano's original 1890 curve.  With the curve index written in ternary as
+``t_1 t_2 ... t_{2m}`` (most significant first), the point coordinates are
+
+    x digits: t_1, t_3, t_5, ...   complemented (d -> 2-d) when the sum of
+              the *earlier* even-position digits is odd;
+    y digits: t_2, t_4, ...        complemented when the sum of the
+              earlier odd-position digits is odd.
+
+The complementation makes the curve continuous: consecutive indices map
+to grid neighbours.  Requires ``side`` to be a power of three.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import CurveDomainError, SpaceFillingCurve, is_power_of
+
+
+def _to_ternary(value: int, digits: int) -> list[int]:
+    """Ternary digits of ``value``, most significant first."""
+    out = [0] * digits
+    for i in range(digits - 1, -1, -1):
+        value, out[i] = divmod(value, 3)
+    return out
+
+
+def _from_ternary(digits: Sequence[int]) -> int:
+    value = 0
+    for d in digits:
+        value = value * 3 + d
+    return value
+
+
+class PeanoCurve(SpaceFillingCurve):
+    """Peano's ternary serpentine order (2-D only)."""
+
+    name = "peano"
+
+    def __init__(self, dims: int, side: int) -> None:
+        if dims != 2:
+            raise CurveDomainError("peano: only 2 dimensions are supported")
+        if not is_power_of(side, 3):
+            raise CurveDomainError(
+                f"peano: side must be a power of three, got {side}"
+            )
+        super().__init__(dims, side)
+        order = 0
+        s = side
+        while s > 1:
+            s //= 3
+            order += 1
+        self._order = order
+
+    @property
+    def order(self) -> int:
+        """Ternary digits per coordinate."""
+        return self._order
+
+    def point(self, index: int) -> tuple[int, ...]:
+        idx = self._check_index(index)
+        t = _to_ternary(idx, 2 * self._order)
+        x_digits: list[int] = []
+        y_digits: list[int] = []
+        x_parity = 0  # parity of raw digits feeding x positions seen so far
+        y_parity = 0  # parity of raw digits feeding y positions seen so far
+        for pos, digit in enumerate(t):
+            if pos % 2 == 0:  # x digit, complemented by y-parity so far
+                x_digits.append(2 - digit if y_parity % 2 else digit)
+                x_parity += digit
+            else:  # y digit, complemented by x-parity so far
+                y_digits.append(2 - digit if x_parity % 2 else digit)
+                y_parity += digit
+        return (_from_ternary(x_digits), _from_ternary(y_digits))
+
+    def index(self, point: Sequence[int]) -> int:
+        x, y = self._check_point(point)
+        x_digits = _to_ternary(x, self._order)
+        y_digits = _to_ternary(y, self._order)
+        t: list[int] = []
+        x_parity = 0
+        y_parity = 0
+        for level in range(self._order):
+            # Undo the complement to recover the raw index digits in the
+            # same order they were produced.
+            xd = x_digits[level]
+            raw_x = 2 - xd if y_parity % 2 else xd
+            t.append(raw_x)
+            x_parity += raw_x
+            yd = y_digits[level]
+            raw_y = 2 - yd if x_parity % 2 else yd
+            t.append(raw_y)
+            y_parity += raw_y
+        return _from_ternary(t)

@@ -1,0 +1,67 @@
+"""Registry of available space-filling curves.
+
+The seven curves of the paper's Figure 1 -- Sweep, C-Scan, Scan (zigzag),
+Gray, Hilbert, Spiral and Diagonal -- plus Peano, retrievable by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from .base import SpaceFillingCurve
+from .diagonal import DiagonalCurve
+from .gray import GrayCurve
+from .hilbert import HilbertCurve
+from .peano import PeanoCurve
+from .scan import ScanCurve
+from .spiral import SpiralCurve
+from .sweep import CScanCurve, SweepCurve
+
+CurveFactory = Callable[[int, int], SpaceFillingCurve]
+
+#: All registered curve classes, keyed by curve name.
+CURVES: Mapping[str, CurveFactory] = {
+    SweepCurve.name: SweepCurve,
+    CScanCurve.name: CScanCurve,
+    ScanCurve.name: ScanCurve,
+    GrayCurve.name: GrayCurve,
+    HilbertCurve.name: HilbertCurve,
+    SpiralCurve.name: SpiralCurve,
+    DiagonalCurve.name: DiagonalCurve,
+    PeanoCurve.name: PeanoCurve,
+}
+
+#: The seven curves shown in Figure 1 of the paper, in figure order.
+PAPER_CURVES: tuple[str, ...] = (
+    "sweep",
+    "cscan",
+    "scan",
+    "gray",
+    "hilbert",
+    "spiral",
+    "diagonal",
+)
+
+#: Curves whose implementation supports arbitrary dimensionality.
+ANY_DIMS_CURVES: tuple[str, ...] = (
+    "sweep",
+    "cscan",
+    "scan",
+    "gray",
+    "hilbert",
+    "spiral",
+    "diagonal",
+)
+
+
+def get_curve(name: str, dims: int, side: int) -> SpaceFillingCurve:
+    """Instantiate the curve registered under ``name``.
+
+    Raises ``KeyError`` listing the known names when ``name`` is unknown.
+    """
+    try:
+        factory = CURVES[name]
+    except KeyError:
+        known = ", ".join(sorted(CURVES))
+        raise KeyError(f"unknown curve {name!r}; known curves: {known}") from None
+    return factory(dims, side)

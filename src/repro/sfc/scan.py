@@ -1,0 +1,48 @@
+"""Scan (zigzag / boustrophedon) space-filling curve.
+
+The Scan curve traverses the grid like :class:`~repro.sfc.sweep.SweepCurve`
+but reverses the direction of each line so that consecutive cells along the
+curve are always grid neighbours (continuity), mirroring the back-and-forth
+motion of the SCAN elevator algorithm.
+
+Generalization to ``d`` dimensions: coordinate ``k`` is traversed in
+reverse whenever the sum of the (already fixed) higher coordinates'
+*logical* positions is odd.  This is the standard boustrophedon product
+order and is continuous in any dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import SpaceFillingCurve
+
+
+class ScanCurve(SpaceFillingCurve):
+    """Boustrophedon order; dimension 0 varies fastest."""
+
+    name = "scan"
+
+    def index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        side = self.side
+        idx = 0
+        # Walk from the most significant (last) coordinate down.  ``idx``
+        # accumulates the rank; its parity at each step tells us whether
+        # the next-lower dimension runs forward or backward.
+        for coord in reversed(pt):
+            if idx % 2 == 1:
+                coord = side - 1 - coord
+            idx = idx * side + coord
+        return idx
+
+    def point(self, index: int) -> tuple[int, ...]:
+        idx = self._check_index(index)
+        side = self.side
+        coords: list[int] = []
+        for _ in range(self.dims):
+            idx, coord = divmod(idx, side)
+            if idx % 2 == 1:
+                coord = side - 1 - coord
+            coords.append(coord)
+        return tuple(coords)

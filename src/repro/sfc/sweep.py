@@ -1,0 +1,65 @@
+"""Sweep and C-Scan space-filling curves.
+
+Both curves are *monotone* orders: they sort the grid lexicographically,
+never revisiting a value of their most-significant dimension.  They model
+the behaviour of a one-way scan that jumps back to the start of each line
+(the disk C-SCAN analogy of Figure 1(a)/(b) in the paper).
+
+Conventions used here (documented in DESIGN.md):
+
+* :class:`SweepCurve` treats the **last** dimension as most significant
+  and dimension 0 as the fastest-varying one (row-major order).  It is
+  therefore monotone -- free of priority inversion -- in the last
+  dimension, matching the paper's fairness discussion (Section 5.1).
+* :class:`CScanCurve` is the transpose: dimension 0 is most significant
+  and the last dimension varies fastest (column-major order), so it
+  favours dimension 0.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import SpaceFillingCurve
+
+
+class SweepCurve(SpaceFillingCurve):
+    """Row-major sweep: dimension 0 varies fastest, last dim is major."""
+
+    name = "sweep"
+
+    def index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        idx = 0
+        for coord in reversed(pt):
+            idx = idx * self.side + coord
+        return idx
+
+    def point(self, index: int) -> tuple[int, ...]:
+        idx = self._check_index(index)
+        coords = []
+        for _ in range(self.dims):
+            idx, coord = divmod(idx, self.side)
+            coords.append(coord)
+        return tuple(coords)
+
+
+class CScanCurve(SpaceFillingCurve):
+    """Column-major sweep: last dimension varies fastest, dim 0 is major."""
+
+    name = "cscan"
+
+    def index(self, point: Sequence[int]) -> int:
+        pt = self._check_point(point)
+        idx = 0
+        for coord in pt:
+            idx = idx * self.side + coord
+        return idx
+
+    def point(self, index: int) -> tuple[int, ...]:
+        idx = self._check_index(index)
+        coords = []
+        for _ in range(self.dims):
+            idx, coord = divmod(idx, self.side)
+            coords.append(coord)
+        return tuple(reversed(coords))

@@ -1,0 +1,44 @@
+"""Event-driven disk-server simulator and metrics."""
+
+from .array import ArrayResult, LogicalRequest, run_array_simulation
+from .engine import EventQueue, EventToken
+from .metrics import MetricsCollector, linear_weights
+from .report import (
+    format_comparison,
+    format_result,
+    miss_histogram,
+    summarize_metrics,
+)
+from .rng import derive, exponential_interarrivals
+from .server import SimulationResult, TimelineEntry, run_simulation
+from .service import (
+    DiskService,
+    ServiceModel,
+    SyntheticService,
+    constant_service,
+    priority_scaled_service,
+)
+
+__all__ = [
+    "ArrayResult",
+    "DiskService",
+    "EventQueue",
+    "EventToken",
+    "LogicalRequest",
+    "MetricsCollector",
+    "ServiceModel",
+    "SimulationResult",
+    "SyntheticService",
+    "TimelineEntry",
+    "constant_service",
+    "derive",
+    "format_comparison",
+    "format_result",
+    "miss_histogram",
+    "exponential_interarrivals",
+    "linear_weights",
+    "priority_scaled_service",
+    "run_array_simulation",
+    "run_simulation",
+    "summarize_metrics",
+]

@@ -1,0 +1,235 @@
+"""Multi-disk RAID-5 array simulation.
+
+The PanaViss server stores each file striped over a five-disk RAID-5
+set (Table 1).  :func:`run_array_simulation` replays *logical* block
+requests against the whole array: every logical request expands into
+its physical per-disk operations (one read, or the four-op
+read-modify-write of a small write), each member disk runs its own
+scheduler instance over its own arm, and a logical request completes
+when its last physical operation does.
+
+This is the substrate behind the "68 to 91 users per disk" framing of
+Section 6: the per-member load the single-disk experiments assume is
+exactly what this module produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import DiskModel, FILE_BLOCK_BYTES, make_xp32150_disk
+from repro.disk.raid import Raid5Array
+from repro.schedulers.base import Scheduler
+
+from .engine import EventQueue
+from .metrics import MetricsCollector
+
+
+@dataclass(frozen=True)
+class LogicalRequest:
+    """A block request addressed to the array, not a member disk."""
+
+    request_id: int
+    arrival_ms: float
+    logical_block: int
+    deadline_ms: float
+    priorities: tuple[int, ...] = ()
+    is_write: bool = False
+    nbytes: int = FILE_BLOCK_BYTES
+
+
+@dataclass
+class ArrayResult:
+    """Outcome of an array-level run."""
+
+    logical_metrics: MetricsCollector
+    disk_metrics: list[MetricsCollector]
+    physical_ops: int
+
+    @property
+    def write_amplification(self) -> float:
+        """Physical ops per logical request (4x for small writes)."""
+        total = self.logical_metrics.completed
+        return self.physical_ops / total if total else 0.0
+
+
+class _MemberDisk:
+    """One member: its own disk model, scheduler and busy state."""
+
+    def __init__(self, disk: DiskModel, scheduler: Scheduler,
+                 metrics: MetricsCollector) -> None:
+        self.disk = disk
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.busy = False
+
+
+class _ArrayState:
+    """Shared bookkeeping for one array run."""
+
+    def __init__(self, members: list[_MemberDisk], raid: Raid5Array,
+                 queue: EventQueue, geometry_block: Callable[[int], int],
+                 logical_metrics: MetricsCollector) -> None:
+        self.members = members
+        self.raid = raid
+        self.queue = queue
+        self.geometry_block = geometry_block
+        self.logical_metrics = logical_metrics
+        self.remaining: dict[int, int] = {}  # logical id -> ops left
+        self.logical: dict[int, LogicalRequest] = {}
+        self.physical_ops = 0
+        self._next_physical_id = 0
+        self.failed_disk: int | None = None
+
+    def submit_logical(self, request: LogicalRequest) -> None:
+        if self.failed_disk is not None and not request.is_write:
+            ops = self.raid.degraded_read_ops(request.logical_block,
+                                              self.failed_disk)
+        else:
+            ops = (self.raid.write_ops(request.logical_block)
+                   if request.is_write
+                   else self.raid.read_ops(request.logical_block))
+            if self.failed_disk is not None:
+                # Degraded writes: operations addressed to the failed
+                # member vanish (their data is reconstructed on rebuild);
+                # the survivors still do their share.
+                ops = tuple(op for op in ops
+                            if op.disk != self.failed_disk)
+                if not ops:
+                    # Whole write absorbed by the failed member: the
+                    # request completes logically with no disk work.
+                    self.logical_metrics.on_complete(
+                        _placeholder(request), self.queue.now
+                    )
+                    return
+        self.remaining[request.request_id] = len(ops)
+        self.logical[request.request_id] = request
+        for op in ops:
+            member = self.members[op.disk]
+            physical = DiskRequest(
+                request_id=self._next_physical_id,
+                arrival_ms=self.queue.now,
+                cylinder=self.geometry_block(op.block),
+                nbytes=request.nbytes,
+                deadline_ms=request.deadline_ms,
+                priorities=request.priorities,
+                stream_id=request.request_id,  # back-pointer
+                is_write=op.is_write,
+            )
+            self._next_physical_id += 1
+            self.physical_ops += 1
+            member.scheduler.submit(physical, self.queue.now,
+                                    member.disk.head_cylinder)
+            self.dispatch(member)
+
+    def dispatch(self, member: _MemberDisk) -> None:
+        if member.busy:
+            return
+        now = self.queue.now
+        physical = member.scheduler.next_request(
+            now, member.disk.head_cylinder
+        )
+        if physical is None:
+            return
+        member.metrics.on_dispatch(physical, member.scheduler.pending())
+        record = member.disk.serve(physical.cylinder, physical.nbytes)
+        member.metrics.on_service(record.seek_ms, record.latency_ms,
+                                  record.transfer_ms)
+        member.busy = True
+        completion = now + record.total_ms
+
+        def complete() -> None:
+            member.busy = False
+            member.metrics.on_complete(physical, self.queue.now)
+            member.scheduler.on_served(physical, self.queue.now)
+            self.finish_op(physical.stream_id)
+            self.dispatch(member)
+
+        self.queue.schedule(completion, complete)
+
+    def finish_op(self, logical_id: int) -> None:
+        self.remaining[logical_id] -= 1
+        if self.remaining[logical_id] == 0:
+            del self.remaining[logical_id]
+            request = self.logical.pop(logical_id)
+            self.logical_metrics.on_complete(_placeholder(request),
+                                             self.queue.now)
+
+
+def _placeholder(request: LogicalRequest) -> DiskRequest:
+    """A DiskRequest stand-in so the metrics collector can account a
+    completed logical request."""
+    return DiskRequest(
+        request_id=request.request_id,
+        arrival_ms=request.arrival_ms,
+        cylinder=0,
+        nbytes=request.nbytes,
+        deadline_ms=request.deadline_ms,
+        priorities=request.priorities,
+        is_write=request.is_write,
+    )
+
+
+def run_array_simulation(
+    requests: Sequence[LogicalRequest],
+    scheduler_factory: Callable[[], Scheduler],
+    *,
+    raid: Raid5Array | None = None,
+    disk_factory: Callable[[], DiskModel] = make_xp32150_disk,
+    priority_levels: int = 16,
+    failed_disk: int | None = None,
+) -> ArrayResult:
+    """Replay logical block requests against a RAID-5 array.
+
+    Each member disk gets its own scheduler from ``scheduler_factory``
+    and its own freshly parked disk from ``disk_factory``.
+
+    ``failed_disk`` runs the array in degraded mode: reads whose data
+    lives on the failed member are reconstructed by reading the same
+    stripe from every survivor (the RAID-5 fan-out read), and writes
+    skip the failed member.
+    """
+    raid = raid or Raid5Array(disks=5)
+    if failed_disk is not None and not 0 <= failed_disk < raid.disks:
+        raise ValueError(f"failed_disk {failed_disk} out of range")
+    dims = len(requests[0].priorities) if requests else 0
+    logical_metrics = MetricsCollector(dims, priority_levels)
+    queue = EventQueue()
+
+    members = []
+    for _ in range(raid.disks):
+        disk = disk_factory()
+        disk.reset(0)
+        members.append(_MemberDisk(
+            disk, scheduler_factory(),
+            MetricsCollector(dims, priority_levels),
+        ))
+
+    first_disk = members[0].disk
+
+    def block_to_cylinder(block: int) -> int:
+        geometry = first_disk.geometry
+        max_block = geometry.capacity_bytes // FILE_BLOCK_BYTES - 1
+        return geometry.block_cylinder(min(block, max_block),
+                                       FILE_BLOCK_BYTES)
+
+    state = _ArrayState(members, raid, queue, block_to_cylinder,
+                        logical_metrics)
+    state.failed_disk = failed_disk
+
+    for request in sorted(requests,
+                          key=lambda r: (r.arrival_ms, r.request_id)):
+        queue.schedule(
+            max(request.arrival_ms, 0.0),
+            lambda req=request: state.submit_logical(req),
+        )
+
+    queue.run()
+
+    return ArrayResult(
+        logical_metrics=logical_metrics,
+        disk_metrics=[member.metrics for member in members],
+        physical_ops=state.physical_ops,
+    )

@@ -1,0 +1,82 @@
+"""A small event-driven simulation engine.
+
+Generic enough for extensions (multi-disk arrays, think-time loops),
+but the disk-server run in :mod:`repro.sim.server` is the only driver
+the reproduction needs.  Events fire in (time, sequence) order, so ties
+resolve in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time_ms: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventToken:
+    """Handle returned by :meth:`EventQueue.schedule`; allows cancelling."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time_ms(self) -> float:
+        return self._event.time_ms
+
+
+class EventQueue:
+    """Time-ordered queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, time_ms: float, action: Callable[[], None]
+                 ) -> EventToken:
+        """Run ``action`` at ``time_ms`` (must not be in the past)."""
+        if time_ms < self._now:
+            raise ValueError(
+                f"cannot schedule at {time_ms} before now={self._now}"
+            )
+        event = _ScheduledEvent(time_ms, next(self._sequence), action)
+        heapq.heappush(self._heap, event)
+        return EventToken(event)
+
+    def step(self) -> bool:
+        """Fire the next event; False when the queue is exhausted."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time_ms
+            event.action()
+            return True
+        return False
+
+    def run(self, until_ms: float | None = None) -> None:
+        """Fire events until exhaustion (or until past ``until_ms``)."""
+        while self._heap:
+            if until_ms is not None and self._heap[0].time_ms > until_ms:
+                self._now = until_ms
+                return
+            self.step()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,92 @@
+"""Human-readable reports from simulation results.
+
+Turns a :class:`~repro.sim.metrics.MetricsCollector` (or a comparison
+of several runs) into the plain-text summaries the examples print, so
+the formatting logic lives -- and is tested -- in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.metrics import MetricsCollector, linear_weights
+from repro.sim.server import SimulationResult
+
+
+def summarize_metrics(metrics: MetricsCollector) -> dict[str, float]:
+    """The headline numbers of one run, as a plain dict."""
+    return {
+        "served": float(metrics.served),
+        "dropped": float(metrics.dropped),
+        "missed": float(metrics.missed),
+        "miss_ratio": metrics.miss_ratio,
+        "inversions": float(metrics.total_inversions),
+        "seek_ms": metrics.seek_ms,
+        "latency_ms": metrics.latency_ms,
+        "transfer_ms": metrics.transfer_ms,
+        "utilization": metrics.utilization,
+        "makespan_ms": metrics.makespan_ms,
+        "mean_response_ms": metrics.response_ms.mean,
+        "max_response_ms": metrics.response_ms.maximum,
+    }
+
+
+def format_result(result: SimulationResult, *,
+                  weighted: bool = False) -> str:
+    """Multi-line report for one scheduler run."""
+    metrics = result.metrics
+    lines = [
+        f"scheduler        : {result.scheduler_name}",
+        f"requests         : {result.submitted} submitted, "
+        f"{metrics.served} served, {metrics.dropped} dropped",
+        f"deadline misses  : {metrics.missed} "
+        f"({100 * metrics.miss_ratio:.1f}%)",
+        f"priority inv.    : {metrics.total_inversions} "
+        f"(per dim: {metrics.inversions_by_dim})",
+        f"disk time        : seek {metrics.seek_ms:.1f} ms, "
+        f"latency {metrics.latency_ms:.1f} ms, "
+        f"transfer {metrics.transfer_ms:.1f} ms "
+        f"(utilization {100 * metrics.utilization:.1f}%)",
+        f"response time    : mean {metrics.response_ms.mean:.1f} ms, "
+        f"max {metrics.response_ms.maximum:.1f} ms",
+        f"makespan         : {metrics.makespan_ms:.1f} ms",
+    ]
+    if weighted and metrics.priority_dims > 0:
+        weights = linear_weights(metrics.priority_levels)
+        lines.append(
+            f"weighted loss    : {metrics.weighted_loss(weights):.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(results: Mapping[str, SimulationResult], *,
+                      weighted: bool = False) -> str:
+    """One-line-per-scheduler comparison table."""
+    header = (f"{'scheduler':>16s} {'misses':>7s} {'inv':>9s} "
+              f"{'seek (s)':>9s} {'resp (ms)':>10s}")
+    if weighted:
+        header += f" {'w-loss':>8s}"
+    lines = [header]
+    for name, result in results.items():
+        metrics = result.metrics
+        line = (f"{name:>16s} {metrics.missed:7d} "
+                f"{metrics.total_inversions:9d} "
+                f"{metrics.seek_ms / 1e3:9.2f} "
+                f"{metrics.response_ms.mean:10.1f}")
+        if weighted:
+            weights = linear_weights(metrics.priority_levels)
+            line += f" {metrics.weighted_loss(weights):8.3f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def miss_histogram(metrics: MetricsCollector, dim: int = 0, *,
+                   width: int = 40) -> str:
+    """ASCII bar chart of deadline misses per priority level."""
+    misses = metrics.misses_by_level(dim)
+    peak = max(misses) if misses else 0
+    lines = [f"deadline misses by priority level (dim {dim}):"]
+    for level, count in enumerate(misses):
+        bar = "#" * (count * width // peak if peak else 0)
+        lines.append(f"  L{level}: {count:5d} {bar}")
+    return "\n".join(lines)

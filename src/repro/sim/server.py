@@ -1,0 +1,193 @@
+"""The disk server loop: arrivals -> scheduler -> service -> metrics.
+
+``run_simulation`` replays a request stream against one scheduler and
+one service model, producing a :class:`SimulationResult`.  It is the
+single harness every experiment and baseline comparison runs through,
+so all schedulers see byte-identical workloads and timing rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.request import DiskRequest
+from repro.schedulers.base import Scheduler
+
+from .engine import EventQueue
+from .metrics import MetricsCollector
+from .service import ServiceModel
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One dispatch in the service timeline (debug / visualization)."""
+
+    request_id: int
+    start_ms: float
+    end_ms: float
+    queue_length: int
+    dropped: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    scheduler_name: str
+    metrics: MetricsCollector
+    submitted: int
+    #: Requests still queued when the run stopped (0 unless truncated).
+    unserved: int
+    #: Dispatch timeline, populated when run_simulation(record_timeline=True).
+    timeline: list[TimelineEntry] | None = None
+
+    @property
+    def inversions(self) -> int:
+        return self.metrics.total_inversions
+
+    @property
+    def misses(self) -> int:
+        return self.metrics.missed
+
+    @property
+    def seek_ms(self) -> float:
+        return self.metrics.seek_ms
+
+
+def run_simulation(requests: Sequence[DiskRequest],
+                   scheduler: Scheduler,
+                   service: ServiceModel,
+                   *,
+                   drop_expired: bool = False,
+                   stop_at_ms: float | None = None,
+                   priority_dims: int | None = None,
+                   priority_levels: int = 16,
+                   record_timeline: bool = False) -> SimulationResult:
+    """Simulate serving ``requests`` (sorted by arrival) with ``scheduler``.
+
+    Parameters
+    ----------
+    drop_expired:
+        When True, a request whose deadline has already passed at
+        dispatch time is dropped without consuming disk time (video
+        frames are worthless after their display slot -- Section 6).
+        When False, late requests are still served and merely counted
+        as misses (Sections 5.2-5.3).
+    stop_at_ms:
+        Optional hard stop; requests still queued are reported in
+        :attr:`SimulationResult.unserved`.
+    priority_dims / priority_levels:
+        Shape of the metrics tables; inferred from the first request
+        when ``priority_dims`` is None.
+    record_timeline:
+        When True, the result carries one :class:`TimelineEntry` per
+        dispatch (including drops) for debugging and visualization.
+    """
+    ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+    if priority_dims is None:
+        priority_dims = len(ordered[0].priorities) if ordered else 0
+    metrics = MetricsCollector(priority_dims, priority_levels)
+
+    queue = EventQueue()
+    state = _ServerState(scheduler, service, metrics, queue, drop_expired)
+    if record_timeline:
+        state.timeline = []
+
+    for request in ordered:
+        if len(request.priorities) != priority_dims:
+            raise ValueError(
+                f"request {request.request_id} has "
+                f"{len(request.priorities)} priorities, expected "
+                f"{priority_dims}"
+            )
+        queue.schedule(max(request.arrival_ms, 0.0),
+                       _Arrival(state, request))
+
+    queue.run(until_ms=stop_at_ms)
+
+    return SimulationResult(
+        scheduler_name=scheduler.name,
+        metrics=metrics,
+        submitted=len(ordered),
+        unserved=len(scheduler),
+        timeline=state.timeline,
+    )
+
+
+class _ServerState:
+    """Mutable simulation state shared by the event callbacks."""
+
+    def __init__(self, scheduler: Scheduler, service: ServiceModel,
+                 metrics: MetricsCollector, queue: EventQueue,
+                 drop_expired: bool) -> None:
+        self.scheduler = scheduler
+        self.service = service
+        self.metrics = metrics
+        self.queue = queue
+        self.drop_expired = drop_expired
+        self.busy = False
+        self.timeline: list[TimelineEntry] | None = None
+
+    def try_dispatch(self) -> None:
+        """Start serving the scheduler's next pick if the disk is free."""
+        while not self.busy:
+            now = self.queue.now
+            head = self.service.head_cylinder
+            request = self.scheduler.next_request(now, head)
+            if request is None:
+                return
+            self.metrics.note_queue_length(len(self.scheduler) + 1)
+            if self.drop_expired and now >= request.deadline_ms:
+                # The data is already useless; drop without disk time.
+                self.metrics.on_complete(request, now, dropped=True)
+                self.scheduler.on_served(request, now)
+                if self.timeline is not None:
+                    self.timeline.append(TimelineEntry(
+                        request.request_id, now, now,
+                        len(self.scheduler), dropped=True,
+                    ))
+                continue
+            self.metrics.on_dispatch(request, self.scheduler.pending())
+            record = self.service.serve(request, now)
+            self.metrics.on_service(record.seek_ms, record.latency_ms,
+                                    record.transfer_ms)
+            completion = now + record.total_ms
+            if self.timeline is not None:
+                self.timeline.append(TimelineEntry(
+                    request.request_id, now, completion,
+                    len(self.scheduler),
+                ))
+            self.busy = True
+            self.queue.schedule(completion, _Completion(self, request))
+            return
+
+
+class _Arrival:
+    """Arrival event: hand the request to the scheduler."""
+
+    def __init__(self, state: _ServerState, request: DiskRequest) -> None:
+        self._state = state
+        self._request = request
+
+    def __call__(self) -> None:
+        state = self._state
+        state.scheduler.submit(self._request, state.queue.now,
+                               state.service.head_cylinder)
+        state.try_dispatch()
+
+
+class _Completion:
+    """Service-completion event: record outcome, dispatch the next one."""
+
+    def __init__(self, state: _ServerState, request: DiskRequest) -> None:
+        self._state = state
+        self._request = request
+
+    def __call__(self) -> None:
+        state = self._state
+        state.busy = False
+        now = state.queue.now
+        state.metrics.on_complete(self._request, now)
+        state.scheduler.on_served(self._request, now)
+        state.try_dispatch()

@@ -1,0 +1,94 @@
+"""Service models: how long serving a request takes.
+
+The simulator is generic over a :class:`ServiceModel`:
+
+* :class:`DiskService` wraps a :class:`~repro.disk.disk.DiskModel` and
+  gives the full seek + rotation + transfer breakdown (Fig. 10-11
+  experiments).
+* :class:`SyntheticService` implements the paper's transfer-dominated
+  setting of Sections 5.1-5.2: service time is a pure function of the
+  request (typically proportional to size, smaller for high-priority
+  requests), and seek is negligible by assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import DiskModel, ServiceRecord
+
+
+class ServiceModel(Protocol):
+    """Serves requests and tracks the (possibly notional) head position."""
+
+    @property
+    def head_cylinder(self) -> int: ...
+
+    def serve(self, request: DiskRequest, now: float) -> ServiceRecord: ...
+
+
+class DiskService:
+    """Service backed by the physical disk model."""
+
+    def __init__(self, disk: DiskModel) -> None:
+        self._disk = disk
+
+    @property
+    def disk(self) -> DiskModel:
+        return self._disk
+
+    @property
+    def head_cylinder(self) -> int:
+        return self._disk.head_cylinder
+
+    def serve(self, request: DiskRequest, now: float) -> ServiceRecord:
+        return self._disk.serve(request.cylinder, request.nbytes)
+
+
+class SyntheticService:
+    """Transfer-dominated service with a pluggable time function.
+
+    ``time_fn(request) -> ms``.  The head still tracks the served
+    cylinder so position-aware schedulers remain meaningful, but no
+    seek or rotation cost is charged (the paper's Fig. 5-9 assumption).
+    """
+
+    def __init__(self, time_fn: Callable[[DiskRequest], float],
+                 *, track_head: bool = True) -> None:
+        self._time_fn = time_fn
+        self._track_head = track_head
+        self._head = 0
+
+    @property
+    def head_cylinder(self) -> int:
+        return self._head
+
+    def serve(self, request: DiskRequest, now: float) -> ServiceRecord:
+        duration = float(self._time_fn(request))
+        if duration < 0:
+            raise ValueError("service time must be non-negative")
+        if self._track_head:
+            self._head = request.cylinder
+        return ServiceRecord(seek_ms=0.0, latency_ms=0.0,
+                             transfer_ms=duration)
+
+
+def constant_service(duration_ms: float) -> SyntheticService:
+    """Every request takes ``duration_ms``."""
+    return SyntheticService(lambda request: duration_ms)
+
+
+def priority_scaled_service(base_ms: float, per_level_ms: float,
+                            dim: int = 0) -> SyntheticService:
+    """Section 5.2's assumption: high-priority requests are smaller.
+
+    Service time grows linearly with the priority level in ``dim``
+    (level 0 = highest priority = smallest transfer).
+    """
+
+    def time_fn(request: DiskRequest) -> float:
+        level = request.priorities[dim] if request.priorities else 0
+        return base_ms + per_level_ms * level
+
+    return SyntheticService(time_fn)

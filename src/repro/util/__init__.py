@@ -1,0 +1,21 @@
+"""Shared utilities: indexed priority queue and statistics helpers."""
+
+from .priority_queue import IndexedPriorityQueue
+from .stats import (
+    RunningStats,
+    mean,
+    normalize_to,
+    percentile,
+    safe_ratio,
+    stddev,
+)
+
+__all__ = [
+    "IndexedPriorityQueue",
+    "RunningStats",
+    "mean",
+    "normalize_to",
+    "percentile",
+    "safe_ratio",
+    "stddev",
+]

@@ -1,0 +1,100 @@
+"""Indexed min-priority queue used by all schedulers.
+
+Supports the operations the dispatchers of the paper need:
+
+* ``push`` / ``pop`` / ``peek`` by a totally ordered priority key,
+* removal and priority updates by item identity (for SP promotion and
+  SCAN-RT style re-insertions),
+* stable FIFO tie-breaking for equal keys,
+* iteration over live items (to count priority inversions against the
+  waiting queue).
+
+Implemented as a binary heap with lazy deletion and an entry map, the
+standard ``heapq`` idiom.  All operations are ``O(log n)`` amortized.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+
+_REMOVED = object()
+
+
+class IndexedPriorityQueue(Generic[K]):
+    """Min-heap keyed by an orderable priority with O(log n) removal."""
+
+    def __init__(self) -> None:
+        self._heap: list[list[object]] = []
+        self._entries: dict[K, list[object]] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: K) -> bool:
+        return item in self._entries
+
+    def push(self, item: K, priority: object) -> None:
+        """Insert ``item``; replaces its priority if already present."""
+        if item in self._entries:
+            self.remove(item)
+        entry = [priority, next(self._counter), item]
+        self._entries[item] = entry
+        heapq.heappush(self._heap, entry)
+
+    def remove(self, item: K) -> None:
+        """Remove ``item``; raises ``KeyError`` when absent."""
+        entry = self._entries.pop(item)
+        entry[2] = _REMOVED
+
+    def discard(self, item: K) -> bool:
+        """Remove ``item`` if present; return whether it was removed."""
+        if item in self._entries:
+            self.remove(item)
+            return True
+        return False
+
+    def pop(self) -> tuple[K, object]:
+        """Remove and return ``(item, priority)`` with the smallest priority."""
+        while self._heap:
+            priority, _seq, item = heapq.heappop(self._heap)
+            if item is not _REMOVED:
+                del self._entries[item]  # type: ignore[index]
+                return item, priority  # type: ignore[return-value]
+        raise IndexError("pop from empty priority queue")
+
+    def peek(self) -> tuple[K, object]:
+        """Return ``(item, priority)`` with the smallest priority."""
+        while self._heap:
+            priority, _seq, item = self._heap[0]
+            if item is _REMOVED:
+                heapq.heappop(self._heap)
+            else:
+                return item, priority  # type: ignore[return-value]
+        raise IndexError("peek at empty priority queue")
+
+    def priority_of(self, item: K) -> object:
+        """Return the current priority of ``item``."""
+        return self._entries[item][0]
+
+    def items(self) -> Iterator[tuple[K, object]]:
+        """Iterate over live ``(item, priority)`` pairs, arbitrary order."""
+        for item, entry in self._entries.items():
+            yield item, entry[0]
+
+    def clear(self) -> None:
+        """Discard every item."""
+        self._heap.clear()
+        self._entries.clear()
+
+    def compact(self) -> None:
+        """Drop lazily-deleted entries; useful after many removals."""
+        self._heap = [e for e in self._heap if e[2] is not _REMOVED]
+        heapq.heapify(self._heap)

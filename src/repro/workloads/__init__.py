@@ -1,0 +1,65 @@
+"""Workload generators: Poisson QoS mixes, video streams, editing."""
+
+from .analysis import (
+    WorkloadProfile,
+    describe,
+    estimate_service_ms,
+    estimate_utilization,
+    profile_workload,
+)
+from .base import (
+    Workload,
+    merge_workloads,
+    offered_load_summary,
+    scale_arrivals,
+    truncate_after,
+)
+from .editing import (
+    EditDecisionList,
+    EditingWorkload,
+    EdlSegment,
+    random_edl,
+)
+from .multimedia import (
+    MediaStream,
+    VideoServerWorkload,
+    normal_priority_level,
+    stream_period_ms,
+)
+from .poisson import PoissonWorkload
+from .traces import (
+    load_trace,
+    read_trace,
+    save_trace,
+    trace_from_string,
+    trace_to_string,
+    write_trace,
+)
+
+__all__ = [
+    "EditDecisionList",
+    "EditingWorkload",
+    "EdlSegment",
+    "MediaStream",
+    "PoissonWorkload",
+    "VideoServerWorkload",
+    "Workload",
+    "WorkloadProfile",
+    "describe",
+    "estimate_service_ms",
+    "estimate_utilization",
+    "load_trace",
+    "merge_workloads",
+    "normal_priority_level",
+    "offered_load_summary",
+    "profile_workload",
+    "random_edl",
+    "read_trace",
+    "save_trace",
+    "scale_arrivals",
+    "stream_period_ms",
+    "trace_from_string",
+    "trace_to_string",
+    "truncate_after",
+    "write_trace",
+]

@@ -1,0 +1,97 @@
+"""Workload interfaces and composition helpers.
+
+A workload turns a seed into a reproducible list of
+:class:`~repro.core.request.DiskRequest`; composition utilities merge
+independent workloads into one arrival stream with unique request ids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Protocol, Sequence
+
+from repro.core.request import DiskRequest
+
+
+class Workload(Protocol):
+    """Anything that can generate a request stream."""
+
+    def generate(self, seed: int) -> list[DiskRequest]: ...
+
+
+def merge_workloads(streams: Iterable[Sequence[DiskRequest]]
+                    ) -> list[DiskRequest]:
+    """Merge several request streams, renumbering ids by arrival order.
+
+    Renumbering keeps request ids unique and FIFO tie-breaks stable
+    when workloads were generated independently.
+    """
+    merged = sorted(
+        (request for stream in streams for request in stream),
+        key=lambda r: (r.arrival_ms, r.request_id),
+    )
+    out = []
+    for new_id, request in enumerate(merged):
+        out.append(DiskRequest(
+            request_id=new_id,
+            arrival_ms=request.arrival_ms,
+            cylinder=request.cylinder,
+            nbytes=request.nbytes,
+            deadline_ms=request.deadline_ms,
+            priorities=request.priorities,
+            value=request.value,
+            stream_id=request.stream_id,
+            is_write=request.is_write,
+        ))
+    return out
+
+
+def scale_arrivals(requests: Sequence[DiskRequest],
+                   factor: float) -> list[DiskRequest]:
+    """Stretch or compress the arrival timeline by ``factor``.
+
+    ``factor < 1`` compresses arrivals (heavier load); relative
+    deadlines are preserved (the deadline moves with its arrival), so
+    the workload's QoS shape is unchanged -- only the rate moves.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    out = []
+    for request in requests:
+        arrival = request.arrival_ms * factor
+        deadline = request.deadline_ms
+        if math.isfinite(deadline):
+            deadline = arrival + (request.deadline_ms - request.arrival_ms)
+        out.append(DiskRequest(
+            request_id=request.request_id,
+            arrival_ms=arrival,
+            cylinder=request.cylinder,
+            nbytes=request.nbytes,
+            deadline_ms=deadline,
+            priorities=request.priorities,
+            value=request.value,
+            stream_id=request.stream_id,
+            is_write=request.is_write,
+        ))
+    return out
+
+
+def truncate_after(requests: Sequence[DiskRequest],
+                   cutoff_ms: float) -> list[DiskRequest]:
+    """Keep only the requests arriving at or before ``cutoff_ms``."""
+    return [r for r in requests if r.arrival_ms <= cutoff_ms]
+
+
+def offered_load_summary(requests: Sequence[DiskRequest]) -> dict[str, float]:
+    """Quick sanity numbers about a generated workload."""
+    if not requests:
+        return {"count": 0, "duration_ms": 0.0, "mean_interarrival_ms": 0.0,
+                "bytes_total": 0.0}
+    ordered = sorted(r.arrival_ms for r in requests)
+    duration = ordered[-1] - ordered[0]
+    return {
+        "count": float(len(requests)),
+        "duration_ms": duration,
+        "mean_interarrival_ms": duration / max(len(requests) - 1, 1),
+        "bytes_total": float(sum(r.nbytes for r in requests)),
+    }

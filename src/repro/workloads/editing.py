@@ -1,0 +1,175 @@
+"""Non-linear editing workload (Section 6: the NewsByte500 setting).
+
+A non-linear editing server mixes four traffic classes:
+
+* real-time **playback** of AV clips (small blocks, tight deadlines,
+  high priority),
+* real-time **record** (writes with the same constraints),
+* **archive** restores (large sequential reads, looser deadlines),
+* **FTP** bulk transfers (large requests, relaxed deadlines, lowest
+  priority) -- Section 5.2's example of low-priority traffic.
+
+Clips are described by a tiny Edit Decision List (EDL) model: an
+ordered list of segments, each a contiguous block range played
+back-to-back, which is how editors actually drive such servers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import FILE_BLOCK_BYTES
+from repro.disk.geometry import DiskGeometry
+from repro.sim.rng import derive
+
+from .multimedia import stream_period_ms
+
+
+@dataclass(frozen=True)
+class EdlSegment:
+    """One contiguous clip segment: ``blocks`` blocks from ``start_block``."""
+
+    start_block: int
+    blocks: int
+
+    def __post_init__(self) -> None:
+        if self.start_block < 0 or self.blocks < 1:
+            raise ValueError("segment needs start_block >= 0, blocks >= 1")
+
+
+@dataclass(frozen=True)
+class EditDecisionList:
+    """An ordered list of segments an editor plays as one timeline."""
+
+    segments: tuple[EdlSegment, ...]
+
+    def block_sequence(self) -> list[int]:
+        """Blocks in playback order."""
+        out: list[int] = []
+        for segment in self.segments:
+            out.extend(range(segment.start_block,
+                             segment.start_block + segment.blocks))
+        return out
+
+    @property
+    def total_blocks(self) -> int:
+        return sum(segment.blocks for segment in self.segments)
+
+
+def random_edl(rng: Random, max_block: int, *, segments: int = 4,
+               segment_blocks: tuple[int, int] = (4, 16)
+               ) -> EditDecisionList:
+    """A plausible EDL: a few cuts scattered over the disk."""
+    lo, hi = segment_blocks
+    segs = []
+    for _ in range(segments):
+        blocks = rng.randint(lo, hi)
+        start = rng.randrange(max(max_block - blocks, 1))
+        segs.append(EdlSegment(start, blocks))
+    return EditDecisionList(tuple(segs))
+
+
+@dataclass(frozen=True)
+class EditingWorkload:
+    """Mixed editing traffic for one disk of the editing server."""
+
+    av_users: int = 12
+    ftp_users: int = 3
+    archive_users: int = 2
+    blocks_per_av_user: int = 24
+    rate_mbps: float = 1.5
+    priority_levels: int = 8
+    priority_dims: int = 3
+    deadline_range_ms: tuple[float, float] = (750.0, 1500.0)
+    ftp_request_blocks: int = 16
+    record_fraction: float = 0.3
+
+    _geometry_cache: dict = field(default_factory=dict, compare=False,
+                                  repr=False)
+
+    def generate(self, seed: int,
+                 geometry: DiskGeometry) -> list[DiskRequest]:
+        rng = derive(seed, "editing")
+        period = stream_period_ms(self.rate_mbps)
+        max_block = geometry.capacity_bytes // FILE_BLOCK_BYTES - 1
+        requests: list[DiskRequest] = []
+        next_id = 0
+
+        def add(arrival: float, block: int, nblocks: int, deadline: float,
+                priorities: tuple[int, ...], stream: int,
+                is_write: bool) -> None:
+            nonlocal next_id
+            block = min(block, max_block)
+            requests.append(DiskRequest(
+                request_id=next_id,
+                arrival_ms=arrival,
+                cylinder=geometry.block_cylinder(block, FILE_BLOCK_BYTES),
+                nbytes=nblocks * FILE_BLOCK_BYTES,
+                deadline_ms=deadline,
+                priorities=priorities,
+                value=float(self.priority_levels - 1 - priorities[0]),
+                stream_id=stream,
+                is_write=is_write,
+            ))
+            next_id += 1
+
+        stream = 0
+        # -- AV playback / record: EDL-driven, high priority, periodic.
+        for _ in range(self.av_users):
+            edl = random_edl(rng, max_block)
+            blocks = edl.block_sequence()[: self.blocks_per_av_user]
+            level = rng.randrange(self.priority_levels // 2)  # upper half
+            priorities = tuple(
+                min(level + rng.randrange(2), self.priority_levels - 1)
+                for _ in range(self.priority_dims)
+            )
+            is_write = rng.random() < self.record_fraction
+            phase = rng.uniform(0.0, period)
+            lo, hi = self.deadline_range_ms
+            for i, block in enumerate(blocks):
+                arrival = phase + i * period
+                add(arrival, block, 1, arrival + rng.uniform(lo, hi),
+                    priorities, stream, is_write)
+            stream += 1
+
+        run_ms = self.blocks_per_av_user * period
+        # -- FTP: few, large, lowest priority, relaxed deadlines.
+        for _ in range(self.ftp_users):
+            start = rng.randrange(max(max_block - 512, 1))
+            priorities = (self.priority_levels - 1,) * self.priority_dims
+            count = max(int(run_ms / 400.0), 1)
+            for i in range(count):
+                arrival = rng.uniform(0.0, run_ms)
+                add(arrival, start + i * self.ftp_request_blocks,
+                    self.ftp_request_blocks, math.inf, priorities,
+                    stream, False)
+            stream += 1
+
+        # -- Archive restores: mid priority, loose but finite deadlines.
+        for _ in range(self.archive_users):
+            start = rng.randrange(max(max_block - 256, 1))
+            level = self.priority_levels // 2 + rng.randrange(
+                max(self.priority_levels // 4, 1)
+            )
+            priorities = (min(level, self.priority_levels - 1),
+                          ) * self.priority_dims
+            count = max(int(run_ms / 600.0), 1)
+            for i in range(count):
+                arrival = rng.uniform(0.0, run_ms)
+                add(arrival, start + i * 4, 4, arrival + 5_000.0,
+                    priorities, stream, False)
+            stream += 1
+
+        requests.sort(key=lambda r: (r.arrival_ms, r.request_id))
+        return [
+            DiskRequest(
+                request_id=i, arrival_ms=r.arrival_ms, cylinder=r.cylinder,
+                nbytes=r.nbytes, deadline_ms=r.deadline_ms,
+                priorities=r.priorities, value=r.value,
+                stream_id=r.stream_id, is_write=r.is_write,
+            )
+            for i, r in enumerate(requests)
+        ]

@@ -1,0 +1,171 @@
+"""Multimedia stream workloads: the Section 6 video-server setting.
+
+Models MPEG-1 streams at 1.5 Mbps retrieved in 64 KB blocks: each user
+issues one block request per period (~349 ms at that rate), requests arrive
+in bursts (the disk serves in batches), files are laid out contiguously
+on the disk, priorities follow a discretized normal distribution over
+eight levels, and deadlines fall uniformly in 750-1500 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import FILE_BLOCK_BYTES
+from repro.disk.geometry import DiskGeometry
+from repro.sim.rng import derive
+
+
+def stream_period_ms(rate_mbps: float,
+                     block_bytes: int = FILE_BLOCK_BYTES) -> float:
+    """Time one block lasts at the stream's consumption rate."""
+    if rate_mbps <= 0:
+        raise ValueError("rate_mbps must be positive")
+    return block_bytes * 8.0 / (rate_mbps * 1e6) * 1e3
+
+
+def normal_priority_level(rng: Random, levels: int,
+                          spread: float = 0.18) -> int:
+    """Priority level from a discretized normal centred mid-range.
+
+    Section 6: "eight priority levels, with a normal distribution of
+    requests across the different levels".
+    """
+    centre = (levels - 1) / 2.0
+    level = round(rng.gauss(centre, spread * levels))
+    return min(max(level, 0), levels - 1)
+
+
+@dataclass(frozen=True)
+class MediaStream:
+    """One user's periodic block stream."""
+
+    stream_id: int
+    rate_mbps: float
+    start_block: int
+    blocks: int
+    priority_levels: int
+    priority_dims: int
+    deadline_range_ms: tuple[float, float]
+    is_write: bool = False
+    start_offset_ms: float = 0.0
+
+    def generate(self, rng: Random, geometry: DiskGeometry,
+                 first_request_id: int,
+                 block_bytes: int = FILE_BLOCK_BYTES,
+                 *, burst_ms: float = 0.0) -> list[DiskRequest]:
+        """Emit this stream's periodic requests.
+
+        ``burst_ms`` quantizes arrival instants onto batch boundaries,
+        reproducing the paper's bursty arrival assumption.
+        """
+        period = stream_period_ms(self.rate_mbps, block_bytes)
+        # Per-stream static priority vector: a user keeps its QoS class.
+        priorities = tuple(
+            normal_priority_level(rng, self.priority_levels)
+            for _ in range(self.priority_dims)
+        )
+        lo, hi = self.deadline_range_ms
+        requests = []
+        max_block = geometry.capacity_bytes // block_bytes - 1
+        for i in range(self.blocks):
+            arrival = self.start_offset_ms + i * period
+            if burst_ms > 0:
+                arrival = (arrival // burst_ms) * burst_ms
+            block = min(self.start_block + i, max_block)
+            requests.append(DiskRequest(
+                request_id=first_request_id + i,
+                arrival_ms=arrival,
+                cylinder=geometry.block_cylinder(block, block_bytes),
+                nbytes=block_bytes,
+                deadline_ms=arrival + rng.uniform(lo, hi),
+                priorities=priorities,
+                value=float(self.priority_levels - 1 - priorities[0]),
+                stream_id=self.stream_id,
+                is_write=self.is_write,
+            ))
+        return requests
+
+
+@dataclass(frozen=True)
+class VideoServerWorkload:
+    """A PanaViss/NewsByte-style population of concurrent streams.
+
+    Parameters
+    ----------
+    users:
+        Concurrent streams on this disk (68-91 in Section 6).
+    blocks_per_user:
+        Requests each user issues during the run.
+    write_fraction:
+        Fraction of users performing real-time writes (ingest).
+    """
+
+    users: int = 68
+    blocks_per_user: int = 30
+    rate_mbps: float = 1.5
+    #: Data members of the RAID-5 set (Table 1: 4 data + 1 parity).
+    #: Consecutive stream blocks rotate across the data disks, so each
+    #: member disk sees one request per ``data_disks`` periods.
+    raid_data_disks: int = 4
+    priority_levels: int = 8
+    priority_dims: int = 1
+    deadline_range_ms: tuple[float, float] = (750.0, 1500.0)
+    write_fraction: float = 0.25
+    burst_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ValueError("users must be >= 1")
+        if self.blocks_per_user < 1:
+            raise ValueError("blocks_per_user must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must lie in [0, 1]")
+
+    def generate_streams(self, seed: int,
+                         geometry: DiskGeometry) -> list[DiskRequest]:
+        rng = derive(seed, "video", self.users)
+        per_disk_rate = self.rate_mbps / self.raid_data_disks
+        period = stream_period_ms(per_disk_rate)
+        max_block = geometry.capacity_bytes // FILE_BLOCK_BYTES - 1
+        all_requests: list[DiskRequest] = []
+        next_id = 0
+        for user in range(self.users):
+            start_block = rng.randrange(
+                max(max_block - self.blocks_per_user, 1)
+            )
+            stream = MediaStream(
+                stream_id=user,
+                rate_mbps=per_disk_rate,
+                start_block=start_block,
+                blocks=self.blocks_per_user,
+                priority_levels=self.priority_levels,
+                priority_dims=self.priority_dims,
+                deadline_range_ms=self.deadline_range_ms,
+                is_write=rng.random() < self.write_fraction,
+                # Spread stream phases over one period so bursts overlap
+                # realistically rather than aligning perfectly.
+                start_offset_ms=rng.uniform(0.0, period),
+            )
+            all_requests.extend(stream.generate(
+                rng, geometry, next_id, burst_ms=self.burst_ms
+            ))
+            next_id += self.blocks_per_user
+        all_requests.sort(key=lambda r: (r.arrival_ms, r.request_id))
+        # Renumber so FIFO tie-breaks follow arrival order.
+        return [
+            DiskRequest(
+                request_id=i,
+                arrival_ms=r.arrival_ms,
+                cylinder=r.cylinder,
+                nbytes=r.nbytes,
+                deadline_ms=r.deadline_ms,
+                priorities=r.priorities,
+                value=r.value,
+                stream_id=r.stream_id,
+                is_write=r.is_write,
+            )
+            for i, r in enumerate(all_requests)
+        ]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import make_xp32150_disk, make_xp32150_geometry
+
+
+@pytest.fixture
+def geometry():
+    """The Table 1 disk geometry."""
+    return make_xp32150_geometry()
+
+
+@pytest.fixture
+def disk():
+    """A fresh Table 1 disk, head parked at 0, deterministic latency."""
+    d = make_xp32150_disk()
+    d.reset(0)
+    return d
+
+
+def make_request(request_id=0, arrival_ms=0.0, cylinder=0, nbytes=65536,
+                 deadline_ms=math.inf, priorities=(), value=0.0,
+                 stream_id=-1, is_write=False):
+    """Request factory with sensible defaults (plain function so tests
+    can import it without fixture plumbing)."""
+    return DiskRequest(
+        request_id=request_id,
+        arrival_ms=arrival_ms,
+        cylinder=cylinder,
+        nbytes=nbytes,
+        deadline_ms=deadline_ms,
+        priorities=tuple(priorities),
+        value=value,
+        stream_id=stream_id,
+        is_write=is_write,
+    )
+
+
+@pytest.fixture
+def request_factory():
+    return make_request

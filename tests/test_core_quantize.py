@@ -1,0 +1,127 @@
+"""Tests for the grid quantizers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantize import (
+    CylinderDistanceQuantizer,
+    DeadlineQuantizer,
+    LinearQuantizer,
+    PriorityQuantizer,
+)
+
+
+class TestLinearQuantizer:
+    def test_endpoints(self):
+        q = LinearQuantizer(0.0, 10.0, 5)
+        assert q(0.0) == 0
+        assert q(10.0) == 4  # clamped into the last bin
+
+    def test_clamping(self):
+        q = LinearQuantizer(0.0, 10.0, 5)
+        assert q(-100.0) == 0
+        assert q(100.0) == 4
+
+    def test_monotone(self):
+        q = LinearQuantizer(0.0, 1.0, 16)
+        cells = [q(x / 100) for x in range(101)]
+        assert cells == sorted(cells)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(0.0, 1.0, 4)(math.nan)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearQuantizer(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            LinearQuantizer(1.0, 1.0, 4)
+
+    @given(st.floats(min_value=-1e9, max_value=1e9, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_always_in_range(self, value):
+        q = LinearQuantizer(-5.0, 5.0, 7)
+        assert 0 <= q(value) < 7
+
+
+class TestPriorityQuantizer:
+    def test_passthrough_in_range(self):
+        q = PriorityQuantizer(8)
+        assert [q(level) for level in range(8)] == list(range(8))
+
+    def test_clamps(self):
+        q = PriorityQuantizer(8)
+        assert q(-3) == 0
+        assert q(99) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityQuantizer(0)
+
+
+class TestDeadlineQuantizer:
+    def test_expired_is_most_urgent(self):
+        q = DeadlineQuantizer(horizon_ms=1000.0, bins=10)
+        assert q(50.0, now=100.0) == 0
+
+    def test_relaxed_is_least_urgent(self):
+        q = DeadlineQuantizer(horizon_ms=1000.0, bins=10)
+        assert q(math.inf, now=0.0) == 9
+
+    def test_proportional(self):
+        q = DeadlineQuantizer(horizon_ms=1000.0, bins=10)
+        assert q(500.0, now=0.0) == 5
+        assert q(990.0, now=0.0) == 9
+        assert q(5000.0, now=0.0) == 9  # clamped at the horizon
+
+    def test_slack_is_relative_to_now(self):
+        q = DeadlineQuantizer(horizon_ms=1000.0, bins=10)
+        assert q(1500.0, now=1000.0) == q(500.0, now=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadlineQuantizer(0.0, 10)
+        with pytest.raises(ValueError):
+            DeadlineQuantizer(100.0, 0)
+
+
+class TestCylinderDistanceQuantizer:
+    def test_directional_wraps(self):
+        q = CylinderDistanceQuantizer(cylinders=100, bins=100,
+                                      directional=True)
+        assert q(10, head_cylinder=5) == 5
+        assert q(5, head_cylinder=10) == 95  # behind the head: wrap
+
+    def test_absolute_distance(self):
+        q = CylinderDistanceQuantizer(cylinders=100, bins=100,
+                                      directional=False)
+        assert q(10, head_cylinder=5) == 5
+        assert q(5, head_cylinder=10) == 5
+
+    def test_bins_coarser_than_cylinders(self):
+        q = CylinderDistanceQuantizer(cylinders=100, bins=10,
+                                      directional=True)
+        assert q(99, head_cylinder=0) == 9
+        assert q(5, head_cylinder=0) == 0
+
+    def test_out_of_range_cylinder(self):
+        q = CylinderDistanceQuantizer(cylinders=100, bins=10)
+        with pytest.raises(ValueError):
+            q(100, head_cylinder=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CylinderDistanceQuantizer(cylinders=0, bins=10)
+        with pytest.raises(ValueError):
+            CylinderDistanceQuantizer(cylinders=10, bins=0)
+
+    @given(st.integers(0, 99), st.integers(0, 99))
+    @settings(max_examples=100, deadline=None)
+    def test_always_in_bins(self, cylinder, head):
+        q = CylinderDistanceQuantizer(cylinders=100, bins=16)
+        assert 0 <= q(cylinder, head) < 16

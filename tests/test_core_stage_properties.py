@@ -1,0 +1,139 @@
+"""Property tests (hypothesis) for the encapsulator stages."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encapsulator import (
+    PartitionedSeekStage,
+    PrioritySFCStage,
+    WeightedDeadlineStage,
+)
+
+levels = st.integers(min_value=0, max_value=63)
+deadlines = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestWeightedStageProperties:
+    @given(p=levels, d1=deadlines, d2=deadlines, now=times,
+           f=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_deadline(self, p, d1, d2, now, f):
+        """With f > 0 and equal priority, an earlier deadline never
+        yields a larger v."""
+        stage = WeightedDeadlineStage(f=f, horizon_ms=500.0, grid=64)
+        lo, hi = sorted((d1, d2))
+        assert (stage.encode(p, 64, lo, now)
+                <= stage.encode(p, 64, hi, now))
+
+    @given(p1=levels, p2=levels, d=deadlines, now=times,
+           f=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_priority(self, p1, p2, d, now, f):
+        """With equal deadline, a better (smaller) priority scalar never
+        yields a larger v."""
+        stage = WeightedDeadlineStage(f=f, horizon_ms=500.0, grid=64)
+        lo, hi = sorted((p1, p2))
+        assert (stage.encode(lo, 64, d, now)
+                <= stage.encode(hi, 64, d, now))
+
+    @given(p=levels, d=deadlines, now=times)
+    @settings(max_examples=200, deadline=None)
+    def test_relative_floor_invariant(self, p, d, now):
+        """relative(encode(...), now) is non-negative and bounded when
+        the deadline is within one horizon of now."""
+        stage = WeightedDeadlineStage(f=1.0, horizon_ms=500.0, grid=64)
+        value = stage.encode(p, 64, d, now)
+        relative = stage.relative(value, now)
+        assert relative >= 0.0
+        if now <= d <= now + 500.0:
+            # priority part <= 63, deadline part <= one grid + epsilon.
+            assert relative <= 63 + 64 + 1
+
+    @given(now1=times, now2=times)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_monotone_in_time(self, now1, now2):
+        stage = WeightedDeadlineStage(f=2.0, horizon_ms=500.0, grid=64)
+        lo, hi = sorted((now1, now2))
+        assert stage.floor_value(lo) <= stage.floor_value(hi)
+
+
+class TestPartitionedSeekProperties:
+    @given(
+        r=st.integers(min_value=1, max_value=16),
+        x1=st.integers(min_value=0, max_value=63),
+        x2=st.integers(min_value=0, max_value=63),
+        cyl=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_priority_within_same_cylinder(self, r, x1, x2,
+                                                       cyl):
+        stage = PartitionedSeekStage(r, cylinders=100, x_cells=64)
+        lo, hi = sorted((x1, x2))
+        assert (stage.encode(lo, 64, cyl, 0)
+                <= stage.encode(hi, 64, cyl, 0))
+
+    @given(
+        r=st.integers(min_value=1, max_value=16),
+        x=st.integers(min_value=0, max_value=63),
+        c1=st.integers(min_value=0, max_value=99),
+        c2=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_cylinder_within_partition(self, r, x, c1, c2):
+        """Within one partition, lower cylinders (from the sweep
+        origin) come first: the single-scan property."""
+        stage = PartitionedSeekStage(r, cylinders=100, x_cells=64)
+        lo, hi = sorted((c1, c2))
+        assert (stage.encode(x, 64, lo, 0)
+                <= stage.encode(x, 64, hi, 0))
+
+    @given(
+        r=st.integers(min_value=2, max_value=8),
+        cyl_a=st.integers(min_value=0, max_value=99),
+        cyl_b=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partition_dominates_cylinder(self, r, cyl_a, cyl_b):
+        """Any request of partition 0 precedes any of partition 1,
+        regardless of cylinders."""
+        stage = PartitionedSeekStage(r, cylinders=100, x_cells=64)
+        p_s = 64 // r
+        x_in_p0 = p_s - 1
+        x_in_p1 = p_s
+        assert (stage.encode(x_in_p0, 64, cyl_a, 0)
+                < stage.encode(x_in_p1, 64, cyl_b, 0))
+
+    @given(r=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=50, deadline=None)
+    def test_output_range(self, r):
+        stage = PartitionedSeekStage(r, cylinders=100, x_cells=64)
+        worst = stage.encode(63, 64, 99, 0)
+        assert 0 <= worst < stage.output_cells
+
+
+class TestPriorityStageProperties:
+    @given(
+        name=st.sampled_from(("sweep", "gray", "hilbert", "diagonal")),
+        dims=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_output_within_declared_cells(self, name, dims, data):
+        stage = PrioritySFCStage.from_name(name, dims, 16)
+        priorities = tuple(
+            data.draw(st.integers(min_value=-5, max_value=50))
+            for _ in range(dims)
+        )
+        value = stage.encode(priorities)
+        assert 0 <= value < stage.output_cells
+
+    @given(
+        name=st.sampled_from(("sweep", "gray", "hilbert", "diagonal")),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_origin_is_zero(self, name):
+        stage = PrioritySFCStage.from_name(name, 3, 16)
+        assert stage.encode((0, 0, 0)) == 0

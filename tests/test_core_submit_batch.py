@@ -1,0 +1,58 @@
+"""Tests for CascadedSFCScheduler.submit_batch."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CascadedSFCConfig, CascadedSFCScheduler
+from tests.conftest import make_request
+
+
+def make_requests(n=80, seed=3, dims=3):
+    rng = random.Random(seed)
+    return [
+        make_request(
+            request_id=i,
+            cylinder=rng.randrange(3832),
+            deadline_ms=rng.uniform(100.0, 900.0),
+            priorities=tuple(rng.randrange(8) for _ in range(dims)),
+        )
+        for i in range(n)
+    ]
+
+
+def drain(scheduler):
+    order = []
+    while True:
+        request = scheduler.next_request(0.0, 0)
+        if request is None:
+            return order
+        order.append(request.request_id)
+
+
+@pytest.mark.parametrize("sfc1", ["hilbert", "gray", "diagonal"])
+@pytest.mark.parametrize("dispatcher", ["full", "conditional"])
+def test_batch_matches_sequential(sfc1, dispatcher):
+    config = CascadedSFCConfig(priority_dims=3, priority_levels=8,
+                               sfc1=sfc1, dispatcher=dispatcher)
+    requests = make_requests()
+    sequential = CascadedSFCScheduler(config, 3832)
+    for request in requests:
+        sequential.submit(request, 42.0, 99)
+    batched = CascadedSFCScheduler(config, 3832)
+    batched.submit_batch(requests, 42.0, 99)
+    assert drain(batched) == drain(sequential)
+
+
+def test_batch_empty_noop():
+    scheduler = CascadedSFCScheduler(CascadedSFCConfig(), 3832)
+    scheduler.submit_batch([], 0.0, 0)
+    assert len(scheduler) == 0
+
+
+def test_batch_len():
+    scheduler = CascadedSFCScheduler(CascadedSFCConfig(), 3832)
+    scheduler.submit_batch(make_requests(10), 0.0, 0)
+    assert len(scheduler) == 10

@@ -1,0 +1,27 @@
+"""Golden determinism: every experiment is exactly repeatable.
+
+Two invocations of the same quick spec must produce byte-identical
+tables -- the property that makes EXPERIMENTS.md reproducible and the
+benchmark assertions stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS
+from repro.experiments.export import table_to_csv
+from repro.experiments.cli import _tables_of
+
+# fig10/fig11 are the slow ones; two runs each still fit comfortably.
+FAST = ("table1", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def render_all(name):
+    result = EXPERIMENTS[name](True)  # quick spec
+    return "\n".join(table_to_csv(t) for t in _tables_of(result))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_experiment_is_deterministic(name):
+    assert render_all(name) == render_all(name)

@@ -1,0 +1,96 @@
+"""Tests for the DiskModel service timing and head tracking."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.disk.disk import (
+    FILE_BLOCK_BYTES,
+    QUANTUM_XP32150,
+    DiskModel,
+    ServiceRecord,
+    make_xp32150_disk,
+)
+
+
+class TestServiceRecord:
+    def test_total(self):
+        record = ServiceRecord(seek_ms=2.0, latency_ms=3.0, transfer_ms=5.0)
+        assert record.total_ms == 10.0
+
+
+class TestDiskModel:
+    def test_head_starts_at_zero(self, disk):
+        assert disk.head_cylinder == 0
+
+    def test_serve_moves_head(self, disk):
+        disk.serve(2000, FILE_BLOCK_BYTES)
+        assert disk.head_cylinder == 2000
+
+    def test_preview_does_not_move_head(self, disk):
+        disk.preview(2000, FILE_BLOCK_BYTES)
+        assert disk.head_cylinder == 0
+
+    def test_reset(self, disk):
+        disk.serve(100, 0)
+        disk.reset(5)
+        assert disk.head_cylinder == 5
+        with pytest.raises(ValueError):
+            disk.reset(4000)
+
+    def test_zero_distance_service_has_no_seek(self, disk):
+        disk.reset(300)
+        record = disk.serve(300, 4096)
+        assert record.seek_ms == 0.0
+        assert record.latency_ms > 0.0
+        assert record.transfer_ms > 0.0
+
+    def test_longer_seek_costs_more(self, disk):
+        near = disk.preview(10, 0).seek_ms
+        far = disk.preview(3000, 0).seek_ms
+        assert far > near
+
+    def test_deterministic_latency_is_half_revolution(self, disk):
+        record = disk.preview(100, 0)
+        assert record.latency_ms == pytest.approx(
+            disk.rotation.average_latency_ms
+        )
+
+    def test_random_latency_mode(self):
+        disk = make_xp32150_disk(deterministic_latency=False,
+                                 rng=Random(3))
+        latencies = {disk.serve(100, 0).latency_ms for _ in range(10)}
+        assert len(latencies) > 1
+
+    def test_transfer_time_proportional_to_bytes(self, disk):
+        one = disk.transfer_time_ms(FILE_BLOCK_BYTES, 0)
+        two = disk.transfer_time_ms(2 * FILE_BLOCK_BYTES, 0)
+        assert two == pytest.approx(2 * one)
+
+    def test_transfer_faster_on_outer_zone(self, disk):
+        outer = disk.transfer_time_ms(FILE_BLOCK_BYTES, 0)
+        inner = disk.transfer_time_ms(FILE_BLOCK_BYTES, 3831)
+        assert outer < inner
+
+    def test_negative_bytes_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.transfer_time_ms(-1, 0)
+
+    def test_service_time_matches_preview(self, disk):
+        assert disk.service_time_ms(500, 4096) == pytest.approx(
+            disk.preview(500, 4096).total_ms
+        )
+
+    def test_out_of_range_cylinder(self, disk):
+        with pytest.raises(ValueError):
+            disk.serve(3832, 0)
+
+    def test_sustained_rate_plausible(self, disk):
+        # A mid-1990s 2.1 GB disk moves several MB/s at the outer edge.
+        assert 5.0 < disk.sustained_rate_mb_s < 15.0
+
+    def test_quantum_summary_consistency(self, disk):
+        assert QUANTUM_XP32150["cylinders"] == disk.geometry.cylinders
+        assert QUANTUM_XP32150["rotation_rpm"] == disk.rotation.rpm

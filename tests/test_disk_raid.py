@@ -1,0 +1,123 @@
+"""Tests for the RAID-5 block mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.raid import DiskOp, Raid5Array
+
+
+class TestMapping:
+    def test_first_stripe_layout(self):
+        raid = Raid5Array(disks=5)
+        # Stripe 0 parity lives on disk 4 (left-symmetric); data lanes
+        # wrap from disk 0.
+        assert raid.parity_disk(0) == 4
+        assert [raid.map_block(b)[0] for b in range(4)] == [0, 1, 2, 3]
+
+    def test_parity_rotates(self):
+        raid = Raid5Array(disks=5)
+        parities = [raid.parity_disk(s) for s in range(5)]
+        assert sorted(parities) == [0, 1, 2, 3, 4]
+
+    def test_data_never_lands_on_parity_disk(self):
+        raid = Raid5Array(disks=5)
+        for block in range(200):
+            disk, _physical = raid.map_block(block)
+            stripe = raid.stripe_of(block)
+            assert disk != raid.parity_disk(stripe)
+
+    def test_physical_blocks_dense_per_disk(self):
+        raid = Raid5Array(disks=5)
+        # After 4 full stripes every disk holds blocks 0..3 of data or
+        # parity; our mapping only tracks data placement.
+        placements = [raid.map_block(b) for b in range(16)]
+        assert len(set(placements)) == 16
+
+    def test_rejects_small_arrays(self):
+        with pytest.raises(ValueError):
+            Raid5Array(disks=2)
+
+    def test_rejects_bad_stripe_unit(self):
+        with pytest.raises(ValueError):
+            Raid5Array(disks=5, stripe_blocks=0)
+
+    def test_negative_block(self):
+        raid = Raid5Array()
+        with pytest.raises(ValueError):
+            raid.map_block(-1)
+        with pytest.raises(ValueError):
+            raid.parity_disk(-1)
+
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.integers(min_value=3, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_mapping_is_injective_and_avoids_parity(self, block, disks,
+                                                    stripe_blocks):
+        raid = Raid5Array(disks=disks, stripe_blocks=stripe_blocks)
+        disk, physical = raid.map_block(block)
+        assert 0 <= disk < disks
+        assert physical >= 0
+        assert disk != raid.parity_disk(raid.stripe_of(block))
+        # Neighbour blocks never collide with this one.
+        for other in (block + 1, block + disks - 1):
+            assert raid.map_block(other) != (disk, physical) or other == block
+
+
+class TestOps:
+    def test_read_is_single_op(self):
+        raid = Raid5Array()
+        ops = raid.read_ops(10)
+        assert len(ops) == 1
+        assert not ops[0].is_write
+
+    def test_small_write_penalty_is_four_ops(self):
+        raid = Raid5Array()
+        ops = raid.write_ops(10)
+        assert len(ops) == 4
+        reads = [op for op in ops if not op.is_write]
+        writes = [op for op in ops if op.is_write]
+        assert len(reads) == 2
+        assert len(writes) == 2
+        assert sum(op.is_parity for op in ops) == 2
+
+    def test_write_touches_data_and_parity_disks(self):
+        raid = Raid5Array()
+        ops = raid.write_ops(10)
+        disks = {op.disk for op in ops}
+        data_disk, _ = raid.map_block(10)
+        parity = raid.parity_disk(raid.stripe_of(10))
+        assert disks == {data_disk, parity}
+
+    def test_degraded_read_on_healthy_disk(self):
+        raid = Raid5Array()
+        data_disk, _ = raid.map_block(10)
+        failed = (data_disk + 1) % raid.disks
+        ops = raid.degraded_read_ops(10, failed)
+        assert len(ops) == 1
+
+    def test_degraded_read_reconstructs_from_survivors(self):
+        raid = Raid5Array()
+        data_disk, _physical = raid.map_block(10)
+        ops = raid.degraded_read_ops(10, data_disk)
+        assert len(ops) == raid.disks - 1
+        assert data_disk not in {op.disk for op in ops}
+
+    def test_degraded_read_invalid_disk(self):
+        raid = Raid5Array()
+        with pytest.raises(ValueError):
+            raid.degraded_read_ops(0, 99)
+
+    def test_blocks_by_disk_partitions_everything(self):
+        raid = Raid5Array()
+        grouped = raid.blocks_by_disk(range(40))
+        assert sum(len(blocks) for blocks in grouped.values()) == 40
+
+    def test_diskop_fields(self):
+        op = DiskOp(disk=1, block=2, is_write=True, is_parity=True)
+        assert (op.disk, op.block, op.is_write, op.is_parity) == (
+            1, 2, True, True
+        )

@@ -1,0 +1,114 @@
+"""Tests for the seek and rotation models."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.rotation import RotationModel
+from repro.disk.seek import LinearSeekModel, SeekModel, fit_seek_model
+
+
+class TestFitSeekModel:
+    def test_hits_calibration_targets(self):
+        model = fit_seek_model(3832, average_ms=8.5, maximum_ms=18.0)
+        assert model.expected_random_seek_ms() == pytest.approx(8.5,
+                                                                abs=0.01)
+        assert model.max_seek_ms == pytest.approx(18.0, abs=0.01)
+
+    def test_zero_distance_is_free(self):
+        model = fit_seek_model(3832, 8.5, 18.0)
+        assert model.seek_of_distance(0) == 0.0
+
+    def test_monotone_in_distance(self):
+        model = fit_seek_model(3832, 8.5, 18.0)
+        previous = -1.0
+        for d in range(0, 3832, 37):
+            t = model.seek_of_distance(d)
+            assert t >= previous
+            previous = t
+
+    def test_continuous_at_knee(self):
+        model = fit_seek_model(1000, 8.5, 18.0)
+        before = model.seek_of_distance(model.knee)
+        after = model.seek_of_distance(model.knee + 1)
+        assert after - before < 0.5
+
+    def test_symmetric(self):
+        model = fit_seek_model(100, 5.0, 10.0)
+        assert model.seek_time(10, 90) == model.seek_time(90, 10)
+
+    def test_negative_distance_rejected(self):
+        model = fit_seek_model(100, 5.0, 10.0)
+        with pytest.raises(ValueError):
+            model.seek_of_distance(-1)
+
+    def test_invalid_calibration(self):
+        with pytest.raises(ValueError):
+            fit_seek_model(1, 5.0, 10.0)
+        with pytest.raises(ValueError):
+            fit_seek_model(100, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            fit_seek_model(100, 0.0, 5.0)
+
+    @given(st.integers(min_value=1, max_value=3831))
+    @settings(max_examples=50, deadline=None)
+    def test_short_seeks_cheaper_than_max(self, distance):
+        model = fit_seek_model(3832, 8.5, 18.0)
+        assert 0 < model.seek_of_distance(distance) <= model.max_seek_ms
+
+
+class TestLinearSeekModel:
+    def test_affine(self):
+        model = LinearSeekModel(100, startup_ms=2.0, per_cylinder_ms=0.1)
+        assert model.seek_of_distance(0) == 0.0
+        assert model.seek_of_distance(10) == pytest.approx(3.0)
+        assert model.max_seek_ms == pytest.approx(2.0 + 9.9)
+
+    def test_negative_rejected(self):
+        model = LinearSeekModel(100, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            model.seek_of_distance(-5)
+
+
+class TestRotationModel:
+    def test_7200_rpm(self):
+        rotation = RotationModel(rpm=7200)
+        assert rotation.revolution_ms == pytest.approx(8.333, abs=1e-3)
+        assert rotation.average_latency_ms == pytest.approx(4.167, abs=1e-3)
+
+    def test_deterministic_sample(self):
+        rotation = RotationModel(rpm=7200)
+        assert rotation.sample_latency_ms() == rotation.average_latency_ms
+
+    def test_random_sample_within_revolution(self):
+        rotation = RotationModel(rpm=7200)
+        rng = Random(42)
+        for _ in range(100):
+            latency = rotation.sample_latency_ms(rng)
+            assert 0.0 <= latency < rotation.revolution_ms
+
+    def test_random_sample_mean(self):
+        rotation = RotationModel(rpm=7200)
+        rng = Random(7)
+        samples = [rotation.sample_latency_ms(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(
+            rotation.average_latency_ms, rel=0.05
+        )
+
+    def test_invalid_rpm(self):
+        with pytest.raises(ValueError):
+            RotationModel(rpm=0)
+
+
+class TestSeekModelDataclass:
+    def test_direct_construction(self):
+        model = SeekModel(cylinders=100, settle_ms=1.0, sqrt_coeff=0.5,
+                          linear_base=2.0, linear_coeff=0.05, knee=25)
+        assert model.seek_of_distance(16) == pytest.approx(1.0 + 0.5 * 4.0)
+        assert model.seek_of_distance(50) == pytest.approx(2.0 + 2.5)
+        assert not math.isnan(model.expected_random_seek_ms())

@@ -1,0 +1,120 @@
+"""Model-based test of the conditionally-preemptive dispatcher.
+
+A compact reference model implements Section 3's rules directly (two
+sorted lists, a sliding window, SP promotion, ER expansion); hypothesis
+drives random insert/pop traces against both implementations and
+requires identical service orders, preemption counts and promotion
+counts at every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatcher import ConditionallyPreemptiveDispatcher
+from tests.conftest import make_request
+
+
+class ModelDispatcher:
+    """Straight-line reference implementation of the paper's rules."""
+
+    def __init__(self, window: float, *, sp: bool,
+                 er: float | None) -> None:
+        self.base_window = window
+        self.window = window
+        self.sp = sp
+        self.er = er
+        self.active: list[tuple[float, int]] = []  # (vc, seq)
+        self.waiting: list[tuple[float, int]] = []
+        self.current_vc: float | None = None
+        self.seq = 0
+        self.preemptions = 0
+        self.promotions = 0
+
+    def insert(self, key: int, vc: float) -> None:
+        entry = (vc, self.seq, key)
+        self.seq += 1
+        if self.current_vc is None:
+            self.active.append(entry)
+        elif vc < self.current_vc - self.window:
+            self.active.append(entry)
+            self.preemptions += 1
+            if self.er is not None:
+                self.window *= self.er
+        else:
+            self.waiting.append(entry)
+
+    def pop(self):
+        if self.sp:
+            while self.active and self.waiting:
+                head = min(self.active)
+                wait = min(self.waiting)
+                if wait[0] < head[0] - self.window:
+                    self.waiting.remove(wait)
+                    self.active.append(wait)
+                    self.promotions += 1
+                else:
+                    break
+        if not self.active:
+            if not self.waiting:
+                self.current_vc = None
+                return None
+            self.active, self.waiting = self.waiting, self.active
+        entry = min(self.active)
+        self.active.remove(entry)
+        self.current_vc = entry[0]
+        if self.er is not None:
+            self.window = self.base_window
+        return entry[2]
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"),
+                  st.integers(min_value=0, max_value=100)),  # vc
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+@given(
+    ops=operations,
+    window=st.sampled_from([0.0, 5.0, 20.0, 1000.0]),
+    sp=st.booleans(),
+    er=st.sampled_from([None, 2.0]),
+)
+@settings(max_examples=200, deadline=None)
+def test_dispatcher_matches_reference_model(ops, window, sp, er):
+    real = ConditionallyPreemptiveDispatcher(
+        window, serve_and_promote=sp, expansion_factor=er
+    )
+    model = ModelDispatcher(window, sp=sp, er=er)
+    next_id = 0
+    for op, vc in ops:
+        if op == "insert":
+            real.insert(make_request(request_id=next_id), float(vc))
+            model.insert(next_id, float(vc))
+            next_id += 1
+        else:
+            popped = real.pop()
+            expected = model.pop()
+            assert (popped.request_id if popped else None) == expected
+        assert real.preemptions == model.preemptions
+        assert real.promotions == model.promotions
+        assert len(real) == len(model.active) + len(model.waiting)
+    # Drain both and require the same tail order.
+    tail_real = []
+    while True:
+        request = real.pop()
+        if request is None:
+            break
+        tail_real.append(request.request_id)
+    tail_model = []
+    while True:
+        key = model.pop()
+        if key is None:
+            break
+        tail_model.append(key)
+    assert tail_real == tail_model

@@ -1,0 +1,56 @@
+"""Smoke tests: the runnable examples must keep running.
+
+Each example's ``main()`` is executed and its stdout sanity-checked,
+so API drift that would break the documented entry points fails the
+suite rather than a user's first session.  Only the fast examples run
+here; the heavier ones are exercised implicitly through the experiment
+benches that share their code paths.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name,needle", [
+    ("quickstart", "Characterization values"),
+    ("emulate_classic", "EXACT MATCH"),
+    ("curve_gallery", "hilbert"),
+    ("cpu_scheduler", "priority inversions"),
+    ("raid_array", "write-amplification"),
+])
+def test_example_runs(name, needle, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert needle in out
+
+
+def test_quickstart_serves_all_requests(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "Served 5 requests" in out
+
+
+def test_emulate_classic_has_no_divergence(capsys):
+    module = load_example("emulate_classic")
+    module.main()
+    out = capsys.readouterr().out
+    assert "DIFFERS" not in out

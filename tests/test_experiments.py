@@ -1,0 +1,237 @@
+"""Shape tests for every paper experiment (quick-sized instances).
+
+These assert the qualitative claims of the paper's prose, not absolute
+numbers -- who wins, roughly by how much, and in which direction the
+knobs move the metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig5_priority_inversion,
+    fig6_scalability,
+    fig7_fairness,
+    fig8_f_tradeoff,
+    fig9_selectivity,
+    fig10_r_tradeoff,
+    fig11_aggregate_losses,
+    table1_disk_model,
+)
+from repro.experiments.common import Table
+
+
+def row_by_label(table: Table, label: str) -> list[float]:
+    for row in table.rows:
+        if row[0] == label:
+            return [float(c) for c in row[1:]]
+    raise AssertionError(f"no row labelled {label!r} in {table.title}")
+
+
+class TestCommonTable:
+    def test_render_contains_rows(self):
+        table = Table("T", ("a", "b"))
+        table.add_row("x", 1.5)
+        text = table.render()
+        assert "T" in text and "x" in text and "1.50" in text
+
+    def test_row_arity_checked(self):
+        table = Table("T", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_column_accessor(self):
+        table = Table("T", ("a", "b"))
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("b") == [1, 2]
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_priority_inversion.run(
+        fig5_priority_inversion.Fig5Spec().quick()
+    )
+
+
+class TestFig5:
+    def test_all_curves_below_fifo(self, fig5):
+        for row in fig5.rows:
+            for value in row[1:]:
+                assert 0.0 < value <= 115.0  # percent of FIFO
+
+    def test_diagonal_best_at_small_windows(self, fig5):
+        diagonal = row_by_label(fig5, "diagonal")
+        for other in ("sweep", "cscan", "scan", "gray", "hilbert",
+                      "spiral"):
+            assert diagonal[0] < row_by_label(fig5, other)[0]
+
+    def test_gray_and_hilbert_have_high_inversion(self, fig5):
+        """Paper: 'The Gray and Hilbert SFCs have very high priority
+        inversion.'"""
+        diagonal = row_by_label(fig5, "diagonal")[0]
+        assert row_by_label(fig5, "gray")[0] > 1.3 * diagonal
+        assert row_by_label(fig5, "hilbert")[0] > 1.3 * diagonal
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_scalability.run(fig6_scalability.Fig6Spec().quick())
+
+
+class TestFig6:
+    def test_diagonal_wins_at_high_dimensionality(self, fig6):
+        diagonal = row_by_label(fig6, "diagonal")
+        for other in ("sweep", "cscan", "scan", "gray", "hilbert",
+                      "spiral"):
+            assert diagonal[-1] < row_by_label(fig6, other)[-1]
+
+    def test_runs_up_to_twelve_dimensions(self, fig6):
+        assert fig6.headers[-1] == "D=12"
+        for row in fig6.rows:
+            assert row[-1] > 0.0
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_fairness.run(fig7_fairness.Fig7Spec().quick())
+
+
+class TestFig7:
+    def test_diagonal_is_fairest(self, fig7):
+        """Paper: the fairest curve keeps the std-dev below 10%."""
+        diagonal = row_by_label(fig7.stddev_table, "diagonal")
+        assert max(diagonal) < 10.0
+
+    def test_sweep_family_least_fair(self, fig7):
+        diagonal = row_by_label(fig7.stddev_table, "diagonal")[0]
+        for name in ("sweep", "cscan"):
+            assert row_by_label(fig7.stddev_table, name)[0] > diagonal
+
+    def test_sweep_family_has_zero_inversion_favored_dim(self, fig7):
+        """Paper: C-Scan and Sweep have no priority inversion in their
+        favored dimension at small window sizes."""
+        for name in ("sweep", "cscan"):
+            assert row_by_label(fig7.favored_table, name)[0] == 0.0
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_f_tradeoff.run(fig8_f_tradeoff.Fig8Spec().quick())
+
+
+class TestFig8:
+    def test_edf_baseline_misses_nonzero(self, fig8):
+        assert fig8.edf_misses > 0
+
+    def test_inversion_rises_with_f(self, fig8):
+        for label in ("sweep", "diagonal"):
+            series = row_by_label(fig8.inversion_table, label)
+            assert series[0] < series[-1]
+
+    def test_misses_fall_toward_edf_with_f(self, fig8):
+        for label in ("sweep", "hilbert", "diagonal"):
+            series = row_by_label(fig8.miss_table, label)
+            assert series[0] > series[1] or series[0] > series[-1]
+
+    def test_f_zero_trades_misses_for_low_inversion(self, fig8):
+        inv = row_by_label(fig8.inversion_table, "diagonal")
+        miss = row_by_label(fig8.miss_table, "diagonal")
+        assert inv[0] < 70.0  # far below EDF's inversion level
+        assert miss[0] > 100.0  # above EDF's miss level
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return fig9_selectivity.run(fig9_selectivity.Fig9Spec().quick())
+
+
+class TestFig9:
+    def test_sfc_protects_high_priority(self, fig9):
+        """SFC schedulers push misses toward low-priority levels."""
+        from repro.experiments.fig9_selectivity import high_low_split
+        edf_top, _edf_bottom = high_low_split(fig9.results["edf"], 0, 8)
+        hil_top, hil_bottom = high_low_split(fig9.results["hilbert"], 0, 8)
+        assert hil_top < edf_top
+        assert hil_bottom > hil_top
+
+    def test_edf_scatters_misses(self, fig9):
+        misses = fig9.results["edf"].metrics.misses_by_level(0)
+        assert min(misses) > 0  # every level loses something under EDF
+
+    def test_sweep_protects_its_favored_dimension_most(self, fig9):
+        """Sweep's most significant dimension is the last one."""
+        from repro.experiments.fig9_selectivity import high_low_split
+        sweep = fig9.results["sweep"]
+        top_last, _ = high_low_split(sweep, 2, 8)
+        edf_top_last, _ = high_low_split(fig9.results["edf"], 2, 8)
+        assert top_last < edf_top_last
+
+    def test_tables_render(self, fig9):
+        assert len(fig9.tables) == 3
+        for table in fig9.tables:
+            assert "deadline misses" in table.title
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_r_tradeoff.run(fig10_r_tradeoff.Fig10Spec().quick())
+
+
+class TestFig10:
+    def test_cascaded_beats_edf_on_misses(self, fig10):
+        edf = row_by_label(fig10.table, "edf")
+        for row in fig10.table.rows:
+            if str(row[0]).startswith("cascaded"):
+                assert float(row[2]) < edf[1]  # misses% column
+
+    def test_cascaded_beats_batched_cscan_on_misses_at_small_r(self,
+                                                               fig10):
+        first = next(row for row in fig10.table.rows
+                     if str(row[0]).startswith("cascaded"))
+        assert float(first[2]) < 100.0
+
+    def test_seek_grows_with_r(self, fig10):
+        seeks = [float(row[3]) for row in fig10.table.rows
+                 if str(row[0]).startswith("cascaded")]
+        assert seeks[0] < seeks[-1]
+
+    def test_edf_seek_is_worst(self, fig10):
+        edf_seek = row_by_label(fig10.table, "edf")[2]
+        ref_seek = row_by_label(fig10.table, "batched-cscan")[2]
+        assert edf_seek > ref_seek
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_aggregate_losses.run(
+        fig11_aggregate_losses.Fig11Spec().quick()
+    )
+
+
+class TestFig11:
+    def test_fcfs_is_worst(self, fig11):
+        fcfs = row_by_label(fig11, "fcfs")
+        for name in ("sweep-x", "sweep-y", "hilbert", "diagonal"):
+            assert row_by_label(fig11, name)[-1] < fcfs[-1]
+
+    def test_losses_grow_with_load(self, fig11):
+        for row in fig11.rows:
+            series = [float(c) for c in row[1:]]
+            assert series[-1] > series[0] * 0.5  # grows or holds
+
+    def test_balanced_curves_beat_sweep_x_under_load(self, fig11):
+        """Paper: Hilbert/Diagonal overtake Sweep-X as load grows."""
+        sweep_x = row_by_label(fig11, "sweep-x")[-1]
+        assert row_by_label(fig11, "hilbert")[-1] < sweep_x
+        assert row_by_label(fig11, "diagonal")[-1] < sweep_x
+
+
+class TestTable1:
+    def test_model_matches_paper_exactly(self):
+        table = table1_disk_model.run()
+        for row in table.rows:
+            _name, paper, model = row
+            assert float(paper) == pytest.approx(float(model), rel=0.01), \
+                f"mismatch for {row[0]}: paper={paper} model={model}"

@@ -1,0 +1,72 @@
+"""Tests for the shared experiment harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    Table,
+    compare,
+    fresh_disk_service,
+    geometric_spread,
+    percent_of,
+    replay,
+)
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.service import constant_service
+from tests.conftest import make_request
+
+REQUESTS = [
+    make_request(request_id=i, arrival_ms=i * 1.0,
+                 deadline_ms=1000.0 - i, priorities=(i % 4,))
+    for i in range(10)
+]
+
+
+class TestReplay:
+    def test_returns_result(self):
+        result = replay(REQUESTS, FCFSScheduler,
+                        lambda: constant_service(5.0),
+                        priority_levels=4)
+        assert result.submitted == 10
+        assert result.metrics.completed == 10
+
+    def test_compare_runs_each_factory(self):
+        results = compare(
+            REQUESTS,
+            {"fifo": FCFSScheduler, "edf": EDFScheduler},
+            lambda: constant_service(5.0),
+            priority_levels=4,
+        )
+        assert set(results) == {"fifo", "edf"}
+        assert results["fifo"].scheduler_name == "fcfs"
+
+    def test_fresh_disk_service_parks_head(self):
+        factory = fresh_disk_service()
+        a = factory()
+        a.serve(make_request(cylinder=2000, nbytes=512), 0.0)
+        b = factory()
+        assert b.head_cylinder == 0  # a new, parked disk every call
+        assert a.head_cylinder == 2000
+
+
+class TestHelpers:
+    def test_percent_of(self):
+        assert percent_of(50.0, 200.0) == 25.0
+        assert percent_of(5.0, 0.0) == 0.0
+
+    def test_geometric_spread(self):
+        assert geometric_spread([2.0, 8.0]) == 4.0
+        assert geometric_spread([]) == 1.0
+        assert geometric_spread([0.0, -1.0]) == 1.0
+
+    def test_table_render_floats_two_decimals(self):
+        table = Table("T", ("k", "v"))
+        table.add_row("pi", 3.14159)
+        assert "3.14" in table.render()
+
+    def test_table_column_missing(self):
+        table = Table("T", ("a",))
+        with pytest.raises(ValueError):
+            table.column("zzz")

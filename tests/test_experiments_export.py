@@ -1,0 +1,72 @@
+"""Tests for CSV export of experiment tables."""
+
+from __future__ import annotations
+
+from repro.experiments.common import Table
+from repro.experiments.export import (
+    export_tables,
+    read_back,
+    slugify,
+    table_to_csv,
+    write_table,
+)
+
+
+def sample_table():
+    table = Table("Figure 5 -- inversion (%)", ("curve", "w=0%", "w=100%"))
+    table.add_row("diagonal", 58.26, 79.20)
+    table.add_row("sweep", 65.75, 81.24)
+    return table
+
+
+class TestSlugify:
+    def test_lowercase_dashes(self):
+        assert slugify("Figure 5 -- inversion (%)") == "figure-5-inversion"
+
+    def test_degenerate(self):
+        assert slugify("!!!") == "table"
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = table_to_csv(sample_table())
+        lines = text.strip().splitlines()
+        assert lines[0] == "curve,w=0%,w=100%"
+        assert lines[1].startswith("diagonal,58.26")
+
+    def test_write_and_read_back(self, tmp_path):
+        path = write_table(sample_table(), tmp_path / "fig5.csv")
+        table = read_back(path)
+        assert table.headers == ["curve", "w=0%", "w=100%"] or tuple(
+            table.headers
+        ) == ("curve", "w=0%", "w=100%")
+        assert table.rows[0][0] == "diagonal"
+        assert table.rows[0][1] == 58.26  # numeric round trip
+
+    def test_export_tables_names(self, tmp_path):
+        paths = export_tables([sample_table()], tmp_path, prefix="fig5-")
+        assert len(paths) == 1
+        assert paths[0].name == "fig5-figure-5-inversion.csv"
+        assert paths[0].exists()
+
+    def test_export_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_tables([sample_table()], target)
+        assert target.exists()
+
+    def test_int_coercion(self, tmp_path):
+        table = Table("counts", ("k", "n"))
+        table.add_row("x", 42)
+        path = write_table(table, tmp_path / "c.csv")
+        back = read_back(path)
+        assert back.rows[0][1] == 42
+        assert isinstance(back.rows[0][1], int)
+
+
+class TestCliIntegration:
+    def test_run_with_csv_export(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        assert main(["run", "table1", "--csv", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("table1-*.csv"))
+        assert len(files) == 1
+        assert "parameter" in files[0].read_text().splitlines()[0]

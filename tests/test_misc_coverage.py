@@ -1,0 +1,137 @@
+"""Edge cases and small contracts not covered elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import CascadedSFCConfig
+from repro.schedulers.base import Scheduler, SchedulerError
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sfc import SweepCurve, get_curve
+from repro.sfc.vectorized import batch_index, has_vectorized_path
+from repro.sim.engine import EventQueue
+from tests.conftest import make_request
+
+
+class TestSchedulerBase:
+    def test_repr_mentions_name_and_backlog(self):
+        scheduler = FCFSScheduler()
+        scheduler.submit(make_request(request_id=1), 0.0, 0)
+        text = repr(scheduler)
+        assert "fcfs" in text
+        assert "pending=1" in text
+
+    def test_scheduler_error_is_runtime_error(self):
+        assert issubclass(SchedulerError, RuntimeError)
+
+    def test_on_served_default_is_noop(self):
+        scheduler = FCFSScheduler()
+        scheduler.on_served(make_request(), 0.0)  # must not raise
+
+    def test_scheduler_is_abstract(self):
+        with pytest.raises(TypeError):
+            Scheduler()  # type: ignore[abstract]
+
+
+class TestConfigExtras:
+    def test_extra_dict_not_compared(self):
+        a = CascadedSFCConfig(extra={"note": "x"})
+        b = CascadedSFCConfig(extra={"note": "y"})
+        assert a == b
+
+    def test_with_overrides_preserves_identity_semantics(self):
+        base = CascadedSFCConfig()
+        assert base.with_overrides() == base
+
+
+class TestVectorizedEdges:
+    def test_non_power_of_two_side_falls_back(self):
+        curve = SweepCurve(2, 10)
+        assert not has_vectorized_path(curve)
+        points = np.array([[9, 9], [0, 0]])
+        assert batch_index(curve, points).tolist() == [
+            curve.index((9, 9)), curve.index((0, 0))
+        ]
+
+    def test_single_point(self):
+        curve = get_curve("hilbert", 2, 8)
+        assert batch_index(curve, np.array([[3, 5]]))[0] == curve.index(
+            (3, 5)
+        )
+
+
+class TestEventQueueEdges:
+    def test_event_scheduling_at_current_time(self):
+        queue = EventQueue()
+        fired = []
+
+        def first():
+            queue.schedule(queue.now, lambda: fired.append("chained"))
+            fired.append("first")
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert fired == ["first", "chained"]
+
+    def test_run_empty_queue(self):
+        queue = EventQueue()
+        queue.run()  # no-op
+        assert queue.now == 0.0
+
+    def test_run_until_exact_event_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda: fired.append(5))
+        queue.run(until_ms=5.0)
+        assert fired == [5]
+
+
+class TestFig5NormalLoad:
+    def test_normal_load_spec_preserves_ranking(self):
+        from repro.experiments.fig5_priority_inversion import (
+            Fig5Spec,
+            run,
+        )
+        spec = Fig5Spec(count=300, window_fractions=(0.0,)).normal_load()
+        table = run(spec)
+
+        def value(label):
+            return next(float(r[1]) for r in table.rows
+                        if r[0] == label)
+
+        # The paper's point: load level does not change the ranking.
+        assert value("diagonal") < value("sweep")
+        assert value("diagonal") < value("gray")
+
+    def test_normal_load_is_lighter(self):
+        from repro.experiments.fig5_priority_inversion import Fig5Spec
+        spec = Fig5Spec()
+        assert (spec.normal_load().mean_interarrival_ms
+                > spec.mean_interarrival_ms)
+
+
+class TestDropExpiredWithCascade:
+    def test_full_cascade_drop_semantics(self):
+        """drop_expired + Cascaded-SFC: dropped requests free capacity
+        and every request is accounted exactly once."""
+        from repro.core.scheduler import CascadedSFCScheduler
+        from repro.sim.server import run_simulation
+        from repro.sim.service import constant_service
+        from repro.workloads.poisson import PoissonWorkload
+
+        requests = PoissonWorkload(
+            count=300, mean_interarrival_ms=5.0, priority_dims=2,
+            priority_levels=8, deadline_range_ms=(50.0, 150.0),
+        ).generate(seed=59)
+        scheduler = CascadedSFCScheduler(
+            CascadedSFCConfig(priority_dims=2, priority_levels=8,
+                              deadline_horizon_ms=150.0),
+            cylinders=3832,
+        )
+        result = run_simulation(requests, scheduler,
+                                constant_service(10.0),
+                                drop_expired=True, priority_levels=8)
+        metrics = result.metrics
+        assert metrics.served + metrics.dropped == 300
+        assert metrics.dropped > 0  # the load guarantees expirations

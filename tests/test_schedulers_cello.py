@@ -1,0 +1,142 @@
+"""Tests for the Cello two-level scheduler baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.schedulers.cello import CelloScheduler, default_classifier
+from repro.sim.server import run_simulation
+from repro.sim.service import constant_service
+from tests.conftest import make_request
+
+
+def rt(request_id, arrival=0.0, deadline=500.0):
+    return make_request(request_id=request_id, arrival_ms=arrival,
+                        deadline_ms=deadline, priorities=(0,))
+
+
+def bulk(request_id, arrival=0.0):
+    return make_request(request_id=request_id, arrival_ms=arrival,
+                        nbytes=1 << 20, deadline_ms=math.inf,
+                        priorities=(0,))
+
+
+def interactive(request_id, arrival=0.0):
+    return make_request(request_id=request_id, arrival_ms=arrival,
+                        nbytes=4096, deadline_ms=math.inf,
+                        priorities=(0,))
+
+
+class TestClassifier:
+    def test_deadline_is_real_time(self):
+        assert default_classifier(rt(0)) == "real-time"
+
+    def test_big_relaxed_read_is_throughput(self):
+        assert default_classifier(bulk(0)) == "throughput"
+
+    def test_small_relaxed_is_interactive(self):
+        assert default_classifier(interactive(0)) == "interactive"
+
+    def test_write_is_interactive(self):
+        request = make_request(nbytes=1 << 20, deadline_ms=math.inf,
+                               is_write=True)
+        assert default_classifier(request) == "interactive"
+
+
+class TestCello:
+    def test_routes_to_class_queues(self):
+        scheduler = CelloScheduler(100)
+        scheduler.submit(rt(0), 0.0, 0)
+        scheduler.submit(bulk(1), 0.0, 0)
+        scheduler.submit(interactive(2), 0.0, 0)
+        assert len(scheduler) == 3
+        assert {r.request_id for r in scheduler.pending()} == {0, 1, 2}
+
+    def test_unknown_class_rejected(self):
+        scheduler = CelloScheduler(100,
+                                   classifier=lambda r: "mystery")
+        with pytest.raises(KeyError):
+            scheduler.submit(rt(0), 0.0, 0)
+
+    def test_deficit_allocator_shares_by_weight(self):
+        scheduler = CelloScheduler(
+            100, weights={"real-time": 0.5, "interactive": 0.25,
+                          "throughput": 0.25},
+        )
+        for i in range(40):
+            scheduler.submit(rt(i, deadline=1e6 + i), 0.0, 0)
+            scheduler.submit(bulk(100 + i), 0.0, 0)
+            scheduler.submit(interactive(200 + i), 0.0, 0)
+        served_by_class = {"real-time": 0, "interactive": 0,
+                           "throughput": 0}
+        for _ in range(40):
+            request = scheduler.next_request(0.0, 0)
+            served_by_class[default_classifier(request)] += 1
+        # Real-time holds a double share.
+        assert served_by_class["real-time"] == pytest.approx(20, abs=2)
+        assert served_by_class["interactive"] == pytest.approx(10, abs=2)
+        assert served_by_class["throughput"] == pytest.approx(10, abs=2)
+
+    def test_empty_class_does_not_block_others(self):
+        scheduler = CelloScheduler(100)
+        scheduler.submit(bulk(0), 0.0, 0)
+        assert scheduler.next_request(0.0, 0).request_id == 0
+        assert scheduler.next_request(0.0, 0) is None
+
+    def test_real_time_class_is_edf_ordered(self):
+        scheduler = CelloScheduler(100)
+        scheduler.submit(rt(0, deadline=900.0), 0.0, 0)
+        scheduler.submit(rt(1, deadline=100.0), 0.0, 0)
+        assert scheduler.next_request(0.0, 0).request_id == 1
+
+    def test_consumption_accounting(self):
+        scheduler = CelloScheduler(100, service_estimate_ms=10.0)
+        scheduler.submit(rt(0), 0.0, 0)
+        scheduler.next_request(0.0, 0)
+        assert scheduler.consumed_ms("real-time") == 10.0
+        assert scheduler.consumed_ms("throughput") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CelloScheduler(0)
+        with pytest.raises(ValueError):
+            CelloScheduler(100, weights={})
+        with pytest.raises(ValueError):
+            CelloScheduler(100, weights={"a": -1.0, "b": 2.0})
+        with pytest.raises(ValueError):
+            CelloScheduler(100, service_estimate_ms=0.0)
+
+    def test_end_to_end_conservation(self):
+        requests = (
+            [rt(i, arrival=i * 2.0, deadline=i * 2.0 + 400) for i in
+             range(30)]
+            + [bulk(100 + i, arrival=i * 5.0) for i in range(12)]
+            + [interactive(200 + i, arrival=i * 3.0) for i in range(20)]
+        )
+        result = run_simulation(
+            sorted(requests, key=lambda r: r.arrival_ms),
+            CelloScheduler(3832),
+            constant_service(8.0),
+            priority_levels=8,
+        )
+        assert result.metrics.completed == len(requests)
+
+    def test_real_time_protected_under_bulk_pressure(self):
+        """Cello's point: bulk traffic cannot crowd out the real-time
+        class beyond its share."""
+        requests = []
+        for i in range(25):
+            requests.append(rt(i, arrival=i * 8.0,
+                               deadline=i * 8.0 + 120.0))
+        for i in range(100):
+            requests.append(bulk(1000 + i, arrival=i * 2.0))
+        requests.sort(key=lambda r: r.arrival_ms)
+
+        cello = run_simulation(requests, CelloScheduler(3832),
+                               constant_service(8.0), priority_levels=8)
+        from repro.schedulers.fcfs import FCFSScheduler
+        fcfs = run_simulation(requests, FCFSScheduler(),
+                              constant_service(8.0), priority_levels=8)
+        assert cello.metrics.missed <= fcfs.metrics.missed

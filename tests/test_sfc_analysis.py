@@ -1,0 +1,106 @@
+"""Tests for the curve-analysis measures (irregularity, locality)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfc import (
+    CScanCurve,
+    DiagonalCurve,
+    GrayCurve,
+    HilbertCurve,
+    SweepCurve,
+    continuity_breaks,
+    get_curve,
+    irregularity,
+    irregularity_profile,
+    mean_neighbour_gap,
+    monotone_dimensions,
+    summarize,
+)
+from repro.sfc.analysis import _count_inversions, pairwise_footrule
+
+
+class TestInversionCounting:
+    def test_sorted_has_zero(self):
+        assert _count_inversions([1, 2, 3, 4]) == 0
+
+    def test_reverse_sorted_is_maximal(self):
+        assert _count_inversions([4, 3, 2, 1]) == 6
+
+    def test_duplicates_do_not_count(self):
+        assert _count_inversions([2, 2, 2]) == 0
+
+    def test_single_swap(self):
+        assert _count_inversions([1, 3, 2]) == 1
+
+
+class TestIrregularity:
+    def test_sweep_is_monotone_in_last_dimension(self):
+        assert irregularity(SweepCurve(2, 8), 1) == 0
+        assert irregularity(SweepCurve(3, 4), 2) == 0
+
+    def test_cscan_is_monotone_in_first_dimension(self):
+        assert irregularity(CScanCurve(2, 8), 0) == 0
+
+    def test_sweep_irregular_in_minor_dimension(self):
+        assert irregularity(SweepCurve(2, 8), 0) > 0
+
+    def test_diagonal_balanced_across_dimensions(self):
+        profile = irregularity_profile(DiagonalCurve(2, 8))
+        assert max(profile) - min(profile) <= 0.05 * max(profile)
+
+    def test_dim_out_of_range(self):
+        with pytest.raises(ValueError):
+            irregularity(SweepCurve(2, 4), 2)
+
+    def test_monotone_dimensions(self):
+        assert monotone_dimensions(SweepCurve(3, 4)) == (2,)
+        assert monotone_dimensions(CScanCurve(3, 4)) == (0,)
+        assert monotone_dimensions(HilbertCurve(2, 4)) == ()
+
+
+class TestContinuity:
+    def test_hilbert_has_no_breaks(self):
+        assert continuity_breaks(HilbertCurve(2, 8)) == 0
+
+    def test_sweep_breaks_once_per_row(self):
+        # A row-major sweep jumps back at the end of each of 7 rows.
+        assert continuity_breaks(SweepCurve(2, 8)) == 7
+
+    def test_gray_jumps(self):
+        assert continuity_breaks(GrayCurve(2, 8)) > 0
+
+
+class TestLocality:
+    def test_mean_gap_at_least_one(self):
+        for name in ("sweep", "hilbert", "gray", "diagonal"):
+            assert mean_neighbour_gap(get_curve(name, 2, 8)) >= 1.0
+
+    def test_hilbert_more_local_than_gray(self):
+        hilbert = mean_neighbour_gap(HilbertCurve(2, 16))
+        gray = mean_neighbour_gap(GrayCurve(2, 16))
+        assert hilbert < gray
+
+
+class TestSummaries:
+    def test_summarize_keys(self):
+        summary = summarize(HilbertCurve(2, 4))
+        assert summary["name"] == "hilbert"
+        assert summary["dims"] == 2
+        assert summary["side"] == 4
+        assert len(summary["irregularity"]) == 2
+
+    def test_footrule_zero_for_identical_orders(self):
+        curve = SweepCurve(2, 4)
+        assert pairwise_footrule(curve.walk(), curve.walk()) == 0
+
+    def test_footrule_positive_for_different_orders(self):
+        sweep = SweepCurve(2, 4)
+        cscan = CScanCurve(2, 4)
+        assert pairwise_footrule(sweep.walk(), cscan.walk()) > 0
+
+    def test_footrule_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError):
+            pairwise_footrule(SweepCurve(2, 4).walk(),
+                              SweepCurve(2, 3).walk())

@@ -1,0 +1,70 @@
+"""Tests for the clustering measure (ref [19] of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfc import (
+    GrayCurve,
+    HilbertCurve,
+    ScanCurve,
+    SweepCurve,
+    average_clusters,
+    cluster_count,
+)
+
+
+class TestClusterCount:
+    def test_full_grid_is_one_cluster(self):
+        for curve in (HilbertCurve(2, 8), SweepCurve(2, 8)):
+            assert cluster_count(curve, (0, 0), (7, 7)) == 1
+
+    def test_single_cell_is_one_cluster(self):
+        curve = HilbertCurve(2, 8)
+        assert cluster_count(curve, (3, 4), (3, 4)) == 1
+
+    def test_sweep_row_box(self):
+        # A full row of the Sweep curve (dim 0 varies fastest) is one
+        # contiguous run; a full column is side separate runs.
+        curve = SweepCurve(2, 8)
+        assert cluster_count(curve, (0, 2), (7, 2)) == 1
+        assert cluster_count(curve, (2, 0), (2, 7)) == 8
+
+    def test_scan_column_pairs_merge(self):
+        # The boustrophedon joins row ends, so a 2-row slab is one run.
+        curve = ScanCurve(2, 8)
+        assert cluster_count(curve, (0, 0), (7, 1)) == 1
+
+    def test_bounds_validation(self):
+        curve = SweepCurve(2, 8)
+        with pytest.raises(ValueError):
+            cluster_count(curve, (0,), (7, 7))
+        with pytest.raises(ValueError):
+            cluster_count(curve, (5, 0), (3, 7))
+        with pytest.raises(ValueError):
+            cluster_count(curve, (0, 0), (8, 7))
+
+
+class TestAverageClusters:
+    def test_hilbert_beats_gray_and_sweep(self):
+        """Hilbert's celebrated clustering superiority."""
+        hilbert = average_clusters(HilbertCurve(2, 16), 4)
+        sweep = average_clusters(SweepCurve(2, 16), 4)
+        gray = average_clusters(GrayCurve(2, 16), 4)
+        assert hilbert < sweep < gray
+
+    def test_box_side_one(self):
+        assert average_clusters(HilbertCurve(2, 8), 1) == 1.0
+
+    def test_box_side_full(self):
+        assert average_clusters(HilbertCurve(2, 8), 8) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_clusters(HilbertCurve(2, 8), 0)
+        with pytest.raises(ValueError):
+            average_clusters(HilbertCurve(2, 8), 9)
+
+    def test_three_dimensional(self):
+        value = average_clusters(HilbertCurve(3, 4), 2)
+        assert value >= 1.0

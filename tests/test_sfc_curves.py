@@ -1,0 +1,224 @@
+"""Per-curve behavioural tests: exact orders, monotonicity, continuity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfc import (
+    CScanCurve,
+    CurveDomainError,
+    DiagonalCurve,
+    GrayCurve,
+    HilbertCurve,
+    PeanoCurve,
+    ScanCurve,
+    SpiralCurve,
+    SweepCurve,
+    is_continuous,
+)
+from repro.sfc.diagonal import diagonal_cells, diagonal_cells_below
+from repro.sfc.gray import (
+    deinterleave_bits,
+    gray_decode,
+    gray_encode,
+    interleave_bits,
+)
+
+
+class TestSweep:
+    def test_2d_row_major_order(self):
+        curve = SweepCurve(2, 3)
+        order = list(curve.walk())
+        assert order == [(0, 0), (1, 0), (2, 0),
+                         (0, 1), (1, 1), (2, 1),
+                         (0, 2), (1, 2), (2, 2)]
+
+    def test_monotone_in_last_dimension(self):
+        curve = SweepCurve(3, 4)
+        previous = -1
+        for pt in curve.walk():
+            assert pt[2] >= previous
+            previous = pt[2]
+
+    def test_index_formula(self):
+        curve = SweepCurve(2, 10)
+        assert curve.index((7, 3)) == 3 * 10 + 7
+
+
+class TestCScan:
+    def test_2d_column_major_order(self):
+        curve = CScanCurve(2, 3)
+        order = list(curve.walk())
+        assert order == [(0, 0), (0, 1), (0, 2),
+                         (1, 0), (1, 1), (1, 2),
+                         (2, 0), (2, 1), (2, 2)]
+
+    def test_monotone_in_first_dimension(self):
+        curve = CScanCurve(3, 4)
+        previous = -1
+        for pt in curve.walk():
+            assert pt[0] >= previous
+            previous = pt[0]
+
+    def test_is_transpose_of_sweep(self):
+        sweep = SweepCurve(2, 5)
+        cscan = CScanCurve(2, 5)
+        for i in range(25):
+            x, y = sweep.point(i)
+            assert cscan.point(i) == (y, x)
+
+
+class TestScan:
+    def test_2d_boustrophedon_order(self):
+        curve = ScanCurve(2, 3)
+        order = list(curve.walk())
+        assert order == [(0, 0), (1, 0), (2, 0),
+                         (2, 1), (1, 1), (0, 1),
+                         (0, 2), (1, 2), (2, 2)]
+
+    @pytest.mark.parametrize("dims,side", [(2, 3), (2, 8), (3, 3), (4, 3)])
+    def test_continuous_any_dims(self, dims, side):
+        assert is_continuous(ScanCurve(dims, side))
+
+
+class TestGray:
+    def test_gray_code_roundtrip(self):
+        for value in range(256):
+            assert gray_decode(gray_encode(value)) == value
+
+    def test_gray_neighbours_differ_in_one_bit(self):
+        for value in range(255):
+            diff = gray_encode(value) ^ gray_encode(value + 1)
+            assert diff.bit_count() == 1
+
+    def test_interleave_roundtrip(self):
+        for coords in [(0, 0), (5, 3), (7, 7), (1, 6)]:
+            word = interleave_bits(coords, 3)
+            assert deinterleave_bits(word, 2, 3) == coords
+
+    def test_consecutive_cells_differ_in_one_coordinate(self):
+        curve = GrayCurve(2, 8)
+        previous = None
+        for pt in curve.walk():
+            if previous is not None:
+                changed = sum(1 for a, b in zip(previous, pt) if a != b)
+                assert changed == 1
+                # ... and by a power of two in that coordinate.
+                delta = next(abs(a - b) for a, b in zip(previous, pt)
+                             if a != b)
+                assert delta & (delta - 1) == 0
+            previous = pt
+
+    def test_requires_power_of_two_side(self):
+        with pytest.raises(CurveDomainError):
+            GrayCurve(2, 6)
+
+
+class TestHilbert:
+    @pytest.mark.parametrize("dims,side", [(2, 2), (2, 4), (2, 8),
+                                           (3, 2), (3, 4), (4, 4)])
+    def test_continuous(self, dims, side):
+        assert is_continuous(HilbertCurve(dims, side))
+
+    def test_known_order_2x2(self):
+        curve = HilbertCurve(2, 2)
+        assert list(curve.walk()) == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_starts_at_origin(self):
+        for dims in (2, 3, 4):
+            curve = HilbertCurve(dims, 4)
+            assert curve.point(0) == (0,) * dims
+
+    def test_requires_power_of_two_side(self):
+        with pytest.raises(CurveDomainError):
+            HilbertCurve(2, 12)
+
+
+class TestDiagonal:
+    def test_orders_by_coordinate_sum(self):
+        curve = DiagonalCurve(2, 4)
+        sums = [sum(pt) for pt in curve.walk()]
+        assert sums == sorted(sums)
+
+    def test_diagonal_cells_2d(self):
+        # 4x4 grid: anti-diagonal sizes 1,2,3,4,3,2,1.
+        sizes = [diagonal_cells(2, 4, t) for t in range(7)]
+        assert sizes == [1, 2, 3, 4, 3, 2, 1]
+
+    def test_diagonal_cells_sum_to_volume(self):
+        for dims, side in ((2, 5), (3, 4), (4, 3)):
+            total = sum(
+                diagonal_cells(dims, side, t)
+                for t in range(dims * (side - 1) + 1)
+            )
+            assert total == side ** dims
+
+    def test_cells_below_is_prefix_sum(self):
+        assert diagonal_cells_below(2, 4, 0) == 0
+        assert diagonal_cells_below(2, 4, 3) == 1 + 2 + 3
+
+    def test_alternating_direction_within_diagonals(self):
+        curve = DiagonalCurve(2, 3)
+        order = list(curve.walk())
+        # Diagonal t=1 reversed relative to t=2 (zigzag).
+        assert order[0] == (0, 0)
+        assert {order[1], order[2]} == {(0, 1), (1, 0)}
+        assert {order[3], order[4], order[5]} == {(0, 2), (1, 1), (2, 0)}
+
+    def test_origin_first_corner_last(self):
+        curve = DiagonalCurve(3, 4)
+        assert curve.point(0) == (0, 0, 0)
+        assert curve.point(len(curve) - 1) == (3, 3, 3)
+
+
+class TestSpiral:
+    def test_2d_starts_at_corner_and_walks_perimeter(self):
+        curve = SpiralCurve(2, 3)
+        order = list(curve.walk())
+        assert order == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2),
+                         (1, 2), (0, 2), (0, 1), (1, 1)]
+
+    def test_2d_continuous(self):
+        for side in (2, 3, 4, 5, 8):
+            assert is_continuous(SpiralCurve(2, side))
+
+    def test_2d_center_is_last(self):
+        curve = SpiralCurve(2, 5)
+        assert curve.point(len(curve) - 1) == (2, 2)
+
+    def test_shells_ordered_outside_in(self):
+        curve = SpiralCurve(3, 4)
+        side = curve.side
+
+        def ring(pt):
+            return min(min(c, side - 1 - c) for c in pt)
+
+        rings = [ring(pt) for pt in curve.walk()]
+        assert rings == sorted(rings)
+
+    def test_even_side_2d(self):
+        curve = SpiralCurve(2, 4)
+        order = list(curve.walk())
+        assert order[0] == (0, 0)
+        assert len(set(order)) == 16
+
+
+class TestPeano:
+    def test_requires_two_dims(self):
+        with pytest.raises(CurveDomainError):
+            PeanoCurve(3, 3)
+
+    def test_requires_power_of_three_side(self):
+        with pytest.raises(CurveDomainError):
+            PeanoCurve(2, 8)
+
+    @pytest.mark.parametrize("side", [3, 9])
+    def test_continuous(self, side):
+        assert is_continuous(PeanoCurve(2, side))
+
+    def test_known_first_column(self):
+        # Peano's curve climbs the first column of each 3x3 block first.
+        curve = PeanoCurve(2, 3)
+        assert curve.point(0) == (0, 0)
+        assert curve.point(1) == (0, 1)
+        assert curve.point(2) == (0, 2)

@@ -1,0 +1,139 @@
+"""Exact known visit orders for small grids (regression vectors).
+
+These pin down the orientation conventions: if a refactor flips or
+rotates a curve, the scheduling behaviour changes subtly (favored
+dimensions move), so the exact sequences are contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfc import (
+    DiagonalCurve,
+    GrayCurve,
+    HilbertCurve,
+    PeanoCurve,
+    ScanCurve,
+    SpiralCurve,
+    get_curve,
+)
+
+
+class TestGrayKnownOrder:
+    def test_4x4(self):
+        curve = GrayCurve(2, 4)
+        order = list(curve.walk())
+        assert order[0] == (0, 0)
+        # Reflected-Gray on interleaved bits: first steps flip single
+        # interleaved bits.
+        assert order[1] == (0, 1)
+        assert order[2] == (1, 1)
+        assert order[3] == (1, 0)
+        assert len(set(order)) == 16
+
+    def test_1d_gray_visits_gray_codewords(self):
+        # The defining property: the cell visited at step i is gray(i).
+        from repro.sfc.gray import gray_encode
+        curve = GrayCurve(1, 8)
+        for i in range(8):
+            assert curve.point(i) == (gray_encode(i),)
+
+
+class TestHilbertKnownOrder:
+    def test_4x4_first_quadrant(self):
+        curve = HilbertCurve(2, 4)
+        order = list(curve.walk())
+        assert order[0] == (0, 0)
+        # The first four cells stay in the 2x2 sub-square.
+        assert set(order[:4]) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+        # The last cell is the mirrored corner.
+        assert order[-1] == (3, 0)
+
+    def test_3d_first_octant(self):
+        curve = HilbertCurve(3, 2)
+        order = list(curve.walk())
+        assert order[0] == (0, 0, 0)
+        assert len(set(order)) == 8
+        # Gray-code adjacency in 3-D: one coordinate changes per step.
+        for a, b in zip(order, order[1:]):
+            assert sum(x != y for x, y in zip(a, b)) == 1
+
+
+class TestScanKnownOrder:
+    def test_4x4_serpentine(self):
+        curve = ScanCurve(2, 4)
+        order = list(curve.walk())
+        assert order[:4] == [(0, 0), (1, 0), (2, 0), (3, 0)]
+        assert order[4:8] == [(3, 1), (2, 1), (1, 1), (0, 1)]
+        assert order[8:12] == [(0, 2), (1, 2), (2, 2), (3, 2)]
+
+    def test_3d_reflection_carries_over(self):
+        curve = ScanCurve(3, 2)
+        order = list(curve.walk())
+        # The whole z=0 plane precedes the z=1 plane, and the second
+        # plane is walked in exact reverse.
+        plane0 = order[:4]
+        plane1 = order[4:]
+        assert all(pt[2] == 0 for pt in plane0)
+        assert all(pt[2] == 1 for pt in plane1)
+        assert [pt[:2] for pt in plane1] == [pt[:2]
+                                             for pt in reversed(plane0)]
+
+
+class TestDiagonalKnownOrder:
+    def test_3x3(self):
+        curve = DiagonalCurve(2, 3)
+        order = list(curve.walk())
+        assert order[0] == (0, 0)
+        assert order[-1] == (2, 2)
+        # Diagonal t=1: reversed lexicographic (odd diagonal).
+        assert order[1:3] == [(1, 0), (0, 1)]
+        # Diagonal t=2: forward lexicographic.
+        assert order[3:6] == [(0, 2), (1, 1), (2, 0)]
+
+
+class TestSpiralKnownOrder:
+    def test_4x4_outer_ring(self):
+        curve = SpiralCurve(2, 4)
+        order = list(curve.walk())
+        # Outer ring: 12 cells before reaching the inner 2x2.
+        ring = order[:12]
+        assert ring[0] == (0, 0)
+        assert ring[3] == (3, 0)
+        assert ring[6] == (3, 3)
+        inner = order[12:]
+        assert set(inner) == {(1, 1), (2, 1), (2, 2), (1, 2)}
+
+
+class TestPeanoKnownOrder:
+    def test_3x3_full_sequence(self):
+        curve = PeanoCurve(2, 3)
+        assert list(curve.walk()) == [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+            (2, 0), (2, 1), (2, 2),
+        ]
+
+
+class TestEndpoints:
+    @pytest.mark.parametrize("name,start", [
+        ("sweep", (0, 0)),
+        ("cscan", (0, 0)),
+        ("scan", (0, 0)),
+        ("gray", (0, 0)),
+        ("hilbert", (0, 0)),
+        ("spiral", (0, 0)),
+        ("diagonal", (0, 0)),
+    ])
+    def test_all_curves_start_at_origin(self, name, start):
+        assert get_curve(name, 2, 8).point(0) == start
+
+    @pytest.mark.parametrize("name,end", [
+        ("sweep", (7, 7)),
+        ("cscan", (7, 7)),
+        ("diagonal", (7, 7)),
+    ])
+    def test_monotone_curves_end_at_far_corner(self, name, end):
+        curve = get_curve(name, 2, 8)
+        assert curve.point(len(curve) - 1) == end

@@ -1,0 +1,125 @@
+"""Cross-curve property tests: every curve is a bijective total order.
+
+Parametrized over all registered curves at several grid shapes, plus
+hypothesis-driven roundtrip checks on large grids where enumeration is
+impossible.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import (
+    CURVES,
+    CurveDomainError,
+    PAPER_CURVES,
+    get_curve,
+    visits_every_cell,
+)
+
+# (name, dims, side) combinations every curve supports.
+SMALL_GRIDS = [
+    (name, dims, side)
+    for name in PAPER_CURVES
+    for dims, side in ((1, 8), (2, 4), (2, 8), (3, 4), (4, 2))
+] + [("peano", 2, 3), ("peano", 2, 9)]
+
+
+@pytest.mark.parametrize("name,dims,side", SMALL_GRIDS)
+def test_roundtrip_index_point(name, dims, side):
+    curve = get_curve(name, dims, side)
+    for i in range(len(curve)):
+        assert curve.index(curve.point(i)) == i
+
+
+@pytest.mark.parametrize("name,dims,side", SMALL_GRIDS)
+def test_visits_every_cell_exactly_once(name, dims, side):
+    curve = get_curve(name, dims, side)
+    assert visits_every_cell(curve)
+
+
+@pytest.mark.parametrize("name,dims,side", SMALL_GRIDS)
+def test_length_is_grid_volume(name, dims, side):
+    curve = get_curve(name, dims, side)
+    assert len(curve) == side ** dims
+
+
+@pytest.mark.parametrize("name", PAPER_CURVES)
+def test_rejects_point_outside_grid(name):
+    curve = get_curve(name, 2, 8)
+    with pytest.raises(CurveDomainError):
+        curve.index((8, 0))
+    with pytest.raises(CurveDomainError):
+        curve.index((0, -1))
+    with pytest.raises(CurveDomainError):
+        curve.index((0, 0, 0))
+
+
+@pytest.mark.parametrize("name", PAPER_CURVES)
+def test_rejects_index_outside_range(name):
+    curve = get_curve(name, 2, 8)
+    with pytest.raises(CurveDomainError):
+        curve.point(-1)
+    with pytest.raises(CurveDomainError):
+        curve.point(64)
+
+
+@pytest.mark.parametrize("name", PAPER_CURVES)
+def test_single_cell_grid(name):
+    curve = get_curve(name, 2, 1)
+    assert curve.index((0, 0)) == 0
+    assert curve.point(0) == (0, 0)
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_repr_mentions_shape(name):
+    side = 9 if name == "peano" else 8
+    curve = get_curve(name, 2, side)
+    assert "dims=2" in repr(curve)
+    assert f"side={side}" in repr(curve)
+
+
+@given(
+    data=st.data(),
+    name=st.sampled_from(PAPER_CURVES),
+    dims=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=150, deadline=None)
+def test_roundtrip_on_large_grids(data, name, dims):
+    """point(index(p)) == p on 16^dims grids, no enumeration."""
+    curve = get_curve(name, dims, 16)
+    point = tuple(
+        data.draw(st.integers(min_value=0, max_value=15), label=f"x{k}")
+        for k in range(dims)
+    )
+    index = curve.index(point)
+    assert 0 <= index < len(curve)
+    assert curve.point(index) == point
+
+
+@given(
+    data=st.data(),
+    name=st.sampled_from(PAPER_CURVES),
+)
+@settings(max_examples=100, deadline=None)
+def test_distinct_points_get_distinct_indexes(data, name):
+    curve = get_curve(name, 3, 8)
+    a = tuple(data.draw(st.integers(0, 7)) for _ in range(3))
+    b = tuple(data.draw(st.integers(0, 7)) for _ in range(3))
+    if a == b:
+        assert curve.index(a) == curve.index(b)
+    else:
+        assert curve.index(a) != curve.index(b)
+
+
+@pytest.mark.parametrize("name", PAPER_CURVES)
+def test_twelve_dimensions_supported(name):
+    """The Fig. 6 scalability setting: 12 dims x 16 levels."""
+    curve = get_curve(name, 12, 16)
+    origin = (0,) * 12
+    far = (15,) * 12
+    assert curve.point(curve.index(origin)) == origin
+    assert curve.point(curve.index(far)) == far
+    assert curve.index(origin) != curve.index(far)

@@ -1,0 +1,174 @@
+"""Tests for curve transforms (permute / reflect / reverse / glue)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import (
+    CurveDomainError,
+    GluedCurve,
+    HilbertCurve,
+    PermutedCurve,
+    ReflectedCurve,
+    ReversedCurve,
+    SweepCurve,
+    get_curve,
+    irregularity,
+    visits_every_cell,
+)
+
+
+class TestPermutedCurve:
+    def test_identity_permutation(self):
+        base = SweepCurve(2, 4)
+        same = PermutedCurve(base, (0, 1))
+        assert list(same.walk()) == list(base.walk())
+
+    def test_swap_transposes(self):
+        base = SweepCurve(2, 4)
+        swapped = PermutedCurve(base, (1, 0))
+        for i in range(len(base)):
+            x, y = base.point(i)
+            assert swapped.point(i) == (y, x)
+
+    def test_roundtrip(self):
+        curve = PermutedCurve(HilbertCurve(3, 4), (2, 0, 1))
+        for i in range(len(curve)):
+            assert curve.index(curve.point(i)) == i
+
+    def test_bijection(self):
+        assert visits_every_cell(PermutedCurve(SweepCurve(3, 3),
+                                               (1, 2, 0)))
+
+    def test_moves_favored_dimension(self):
+        """Permutation relocates Sweep's monotone axis -- the paper's
+        'assign the important parameter to the favored dimension'."""
+        base = SweepCurve(2, 8)  # monotone in dim 1
+        assert irregularity(base, 1) == 0
+        moved = PermutedCurve(base, (1, 0))
+        assert irregularity(moved, 0) == 0
+        assert irregularity(moved, 1) > 0
+
+    def test_invalid_permutation(self):
+        with pytest.raises(CurveDomainError):
+            PermutedCurve(SweepCurve(2, 4), (0, 0))
+        with pytest.raises(CurveDomainError):
+            PermutedCurve(SweepCurve(2, 4), (0, 2))
+
+    def test_name_mentions_base(self):
+        assert "sweep" in PermutedCurve(SweepCurve(2, 4), (1, 0)).name
+
+
+class TestReflectedCurve:
+    def test_reflecting_twice_is_identity(self):
+        base = HilbertCurve(2, 4)
+        once = ReflectedCurve(base, (0,))
+        twice = ReflectedCurve(once, (0,))
+        assert list(twice.walk()) == list(base.walk())
+
+    def test_reflection_mirrors_coordinates(self):
+        base = SweepCurve(2, 4)
+        mirrored = ReflectedCurve(base, (0,))
+        assert mirrored.point(0) == (3, 0)
+
+    def test_roundtrip_and_bijection(self):
+        curve = ReflectedCurve(HilbertCurve(2, 8), (0, 1))
+        assert visits_every_cell(curve)
+        for i in range(0, len(curve), 7):
+            assert curve.index(curve.point(i)) == i
+
+    def test_turns_ascending_into_descending(self):
+        """A reflected Sweep serves the *largest* value of its favored
+        axis first -- 'bigger value = more important' semantics."""
+        base = SweepCurve(2, 8)
+        flipped = ReflectedCurve(base, (1,))
+        assert flipped.point(0) == (0, 7)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(CurveDomainError):
+            ReflectedCurve(SweepCurve(2, 4), (5,))
+
+
+class TestReversedCurve:
+    def test_order_is_reversed(self):
+        base = HilbertCurve(2, 4)
+        reversed_curve = ReversedCurve(base)
+        assert (list(reversed_curve.walk())
+                == list(base.walk())[::-1])
+
+    def test_roundtrip(self):
+        curve = ReversedCurve(SweepCurve(3, 3))
+        for i in range(len(curve)):
+            assert curve.index(curve.point(i)) == i
+
+    def test_double_reverse_is_identity(self):
+        base = HilbertCurve(2, 4)
+        twice = ReversedCurve(ReversedCurve(base))
+        assert list(twice.walk()) == list(base.walk())
+
+
+class TestGluedCurve:
+    def test_matches_paper_r_partition_form(self):
+        """Gluing R sweeps along X reproduces the SFC3 closed form."""
+        base = SweepCurve(2, 4)  # 4x4 tile, x fastest
+        glued = GluedCurve(base, copies=3, axis=0)
+        assert glued.axis_side == 12
+        assert len(glued) == 48
+        # Tile 1 starts after tile 0's 16 cells.
+        assert glued.index((4, 0)) == 16
+        assert glued.point(16) == (4, 0)
+
+    def test_tiles_fully_ordered(self):
+        glued = GluedCurve(SweepCurve(2, 4), copies=2, axis=0)
+        max_tile0 = max(glued.index((x, y))
+                        for x in range(4) for y in range(4))
+        min_tile1 = min(glued.index((x, y))
+                        for x in range(4, 8) for y in range(4))
+        assert max_tile0 < min_tile1
+
+    def test_glue_along_other_axis(self):
+        glued = GluedCurve(SweepCurve(2, 4), copies=2, axis=1)
+        assert glued.point(16) == (0, 4)
+
+    def test_roundtrip(self):
+        glued = GluedCurve(HilbertCurve(2, 4), copies=3, axis=1)
+        for i in range(len(glued)):
+            assert glued.index(glued.point(i)) == i
+
+    def test_rejects_out_of_range(self):
+        glued = GluedCurve(SweepCurve(2, 4), copies=2, axis=0)
+        glued.index((7, 3))  # allowed: extended axis
+        with pytest.raises(CurveDomainError):
+            glued.index((8, 0))
+        with pytest.raises(CurveDomainError):
+            glued.index((0, 4))  # non-glued axis keeps the base side
+
+    def test_validation(self):
+        with pytest.raises(CurveDomainError):
+            GluedCurve(SweepCurve(2, 4), copies=0)
+        with pytest.raises(CurveDomainError):
+            GluedCurve(SweepCurve(2, 4), copies=2, axis=5)
+
+
+@given(
+    name=st.sampled_from(("sweep", "hilbert", "gray", "diagonal")),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_transform_stack_stays_bijective(name, seed):
+    """Random stacks of transforms preserve the roundtrip property."""
+    import random
+    rng = random.Random(seed)
+    curve = get_curve(name, 2, 4)
+    for _ in range(rng.randrange(4)):
+        kind = rng.choice(("perm", "reflect", "reverse"))
+        if kind == "perm":
+            curve = PermutedCurve(curve, rng.sample(range(2), 2))
+        elif kind == "reflect":
+            curve = ReflectedCurve(curve, [rng.randrange(2)])
+        else:
+            curve = ReversedCurve(curve)
+    point = (rng.randrange(4), rng.randrange(4))
+    assert curve.point(curve.index(point)) == point

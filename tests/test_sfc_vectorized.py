@@ -1,0 +1,104 @@
+"""Tests for the vectorized batch encoder: bit-identical to scalar."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc import SweepCurve, get_curve
+from repro.sfc.transforms import ReversedCurve
+from repro.sfc.vectorized import batch_index, has_vectorized_path
+
+VECTOR_CURVES = ("sweep", "cscan", "scan", "gray", "hilbert")
+FALLBACK_CURVES = ("spiral", "diagonal")
+
+
+def random_points(rng, n, dims, side):
+    return np.array(
+        [[rng.randrange(side) for _ in range(dims)] for _ in range(n)]
+    )
+
+
+@pytest.mark.parametrize("name", VECTOR_CURVES)
+@pytest.mark.parametrize("dims,side", [(2, 16), (3, 8), (4, 4), (6, 16)])
+def test_matches_scalar(name, dims, side):
+    import random
+    rng = random.Random(hash((name, dims, side)) & 0xFFFF)
+    curve = get_curve(name, dims, side)
+    points = random_points(rng, 200, dims, side)
+    batched = batch_index(curve, points)
+    expected = [curve.index(tuple(int(c) for c in row)) for row in points]
+    assert batched.tolist() == expected
+
+
+@pytest.mark.parametrize("name", VECTOR_CURVES)
+def test_has_vectorized_path(name):
+    assert has_vectorized_path(get_curve(name, 3, 16))
+
+
+@pytest.mark.parametrize("name", FALLBACK_CURVES)
+def test_fallback_curves_still_correct(name):
+    import random
+    rng = random.Random(5)
+    curve = get_curve(name, 3, 8)
+    assert not has_vectorized_path(curve)
+    points = random_points(rng, 50, 3, 8)
+    batched = batch_index(curve, points)
+    expected = [curve.index(tuple(int(c) for c in row)) for row in points]
+    assert list(batched) == expected
+
+
+def test_transform_uses_fallback():
+    curve = ReversedCurve(SweepCurve(2, 8))
+    assert not has_vectorized_path(curve)
+    points = np.array([[0, 0], [7, 7]])
+    assert batch_index(curve, points).tolist() == [
+        curve.index((0, 0)), curve.index((7, 7))
+    ]
+
+
+def test_wide_index_falls_back():
+    """12 dims x 64 levels = 72 bits: wider than uint64."""
+    curve = get_curve("sweep", 12, 64)
+    assert not has_vectorized_path(curve)
+    point = [[63] * 12]
+    assert batch_index(curve, np.array(point))[0] == curve.index(
+        tuple([63] * 12)
+    )
+
+
+def test_empty_batch():
+    curve = get_curve("hilbert", 2, 8)
+    assert len(batch_index(curve, np.zeros((0, 2), dtype=int))) == 0
+
+
+def test_shape_validation():
+    curve = get_curve("sweep", 2, 8)
+    with pytest.raises(ValueError):
+        batch_index(curve, np.zeros((4, 3), dtype=int))
+    with pytest.raises(ValueError):
+        batch_index(curve, np.array([[0, 8]]))
+    with pytest.raises(ValueError):
+        batch_index(curve, np.array([[0, -1]]))
+
+
+@given(
+    name=st.sampled_from(VECTOR_CURVES),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_scalar_equivalence(name, data):
+    dims = data.draw(st.integers(1, 5))
+    order = data.draw(st.integers(1, 4))
+    side = 2 ** order
+    curve = get_curve(name, dims, side)
+    n = data.draw(st.integers(1, 20))
+    points = np.array([
+        [data.draw(st.integers(0, side - 1)) for _ in range(dims)]
+        for _ in range(n)
+    ])
+    batched = batch_index(curve, points)
+    for row, value in zip(points, batched):
+        assert curve.index(tuple(int(c) for c in row)) == int(value)

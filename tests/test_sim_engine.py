@@ -1,0 +1,88 @@
+"""Tests for the event queue engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.schedule(9.0, lambda: fired.append("c"))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abc":
+            queue.schedule(1.0, lambda lab=label: fired.append(lab))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(3.0, lambda: seen.append(queue.now))
+        queue.schedule(7.0, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [3.0, 7.0]
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda: queue.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            queue.run()
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule(queue.now + 1.0,
+                           lambda: fired.append("second"))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert fired == ["first", "second"]
+
+    def test_cancellation(self):
+        queue = EventQueue()
+        fired = []
+        token = queue.schedule(1.0, lambda: fired.append("x"))
+        token.cancel()
+        queue.run()
+        assert fired == []
+        assert len(queue) == 0
+
+    def test_run_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(10.0, lambda: fired.append(10))
+        queue.run(until_ms=5.0)
+        assert fired == [1]
+        assert queue.now == 5.0
+        queue.run()
+        assert fired == [1, 10]
+
+    def test_step(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        assert queue.step() is True
+        assert queue.step() is False
+        assert fired == [1]
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        token = queue.schedule(2.0, lambda: None)
+        token.cancel()
+        assert len(queue) == 1

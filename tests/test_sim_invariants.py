@@ -1,0 +1,110 @@
+"""Hypothesis invariants of the simulation loop itself."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import DiskRequest
+from repro.schedulers.edf import EDFScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.scan import BatchedCScanScheduler
+from repro.schedulers.sstf import SSTFScheduler
+from repro.sim.server import run_simulation
+from repro.sim.service import constant_service
+
+request_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),  # arrival
+        st.integers(min_value=0, max_value=3831),                  # cylinder
+        st.one_of(st.none(),
+                  st.floats(min_value=1.0, max_value=1e4)),        # rel dl
+        st.integers(min_value=0, max_value=7),                     # priority
+    ),
+    max_size=60,
+)
+
+SCHEDULERS = (
+    FCFSScheduler,
+    EDFScheduler,
+    SSTFScheduler,
+    lambda: BatchedCScanScheduler(3832),
+)
+
+
+def build(rows):
+    return [
+        DiskRequest(
+            request_id=i,
+            arrival_ms=arrival,
+            cylinder=cylinder,
+            nbytes=4096,
+            deadline_ms=(arrival + rel) if rel is not None else math.inf,
+            priorities=(priority,),
+        )
+        for i, (arrival, cylinder, rel, priority) in enumerate(rows)
+    ]
+
+
+@given(rows=request_lists, which=st.integers(0, len(SCHEDULERS) - 1),
+       service=st.floats(min_value=0.1, max_value=50.0))
+@settings(max_examples=150, deadline=None)
+def test_simulation_invariants(rows, which, service):
+    requests = build(rows)
+    result = run_simulation(requests, SCHEDULERS[which](),
+                            constant_service(service),
+                            priority_levels=8)
+    metrics = result.metrics
+    # Conservation: everything submitted is completed, nothing queued.
+    assert metrics.completed == len(requests)
+    assert result.unserved == 0
+    # Time sanity: work ends after the last arrival, and total busy
+    # time is exactly count * service.
+    if requests:
+        last_arrival = max(r.arrival_ms for r in requests)
+        assert metrics.makespan_ms >= last_arrival
+        assert metrics.busy_ms == sum(
+            service for _ in requests
+        ) or abs(metrics.busy_ms - service * len(requests)) < 1e-6
+    # Misses never exceed completions; per-level tallies match totals.
+    assert 0 <= metrics.missed <= metrics.completed
+    if requests:
+        assert sum(metrics.requests_by_dim_level[0]) == len(requests)
+        assert sum(metrics.misses_by_dim_level[0]) == metrics.missed
+
+
+@given(rows=request_lists, service=st.floats(min_value=0.1,
+                                             max_value=30.0))
+@settings(max_examples=100, deadline=None)
+def test_drop_mode_invariants(rows, service):
+    requests = build(rows)
+    result = run_simulation(requests, EDFScheduler(),
+                            constant_service(service),
+                            drop_expired=True, priority_levels=8)
+    metrics = result.metrics
+    assert metrics.served + metrics.dropped == len(requests)
+    # Dropped requests consumed no disk time.
+    assert abs(metrics.busy_ms - service * metrics.served) < 1e-6
+
+
+@given(rows=request_lists)
+@settings(max_examples=80, deadline=None)
+def test_batched_cscan_rounds_are_single_sweeps(rows):
+    """Within each service round, batched C-SCAN serves its snapshot
+    in one ascending sweep from the round's starting head position."""
+    requests = build(rows)
+    scheduler = BatchedCScanScheduler(3832)
+    for request in sorted(requests, key=lambda r: r.arrival_ms):
+        scheduler.submit(request, request.arrival_ms, 0)
+    head = 0
+    sweep_positions: list[int] = []
+    while True:
+        request = scheduler.next_request(0.0, head)
+        if request is None:
+            break
+        sweep_positions.append((request.cylinder - head) % 3832)
+    # All submissions happened before the first pop, so everything is
+    # one round: the directional distances must be non-decreasing.
+    assert sweep_positions == sorted(sweep_positions)

@@ -1,0 +1,68 @@
+"""Tests for the report formatting helpers."""
+
+from __future__ import annotations
+
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.report import (
+    format_comparison,
+    format_result,
+    miss_histogram,
+    summarize_metrics,
+)
+from repro.sim.server import run_simulation
+from repro.sim.service import constant_service
+from tests.conftest import make_request
+
+
+def make_result():
+    requests = [
+        make_request(request_id=0, arrival_ms=0.0, deadline_ms=5.0,
+                     priorities=(0,)),
+        make_request(request_id=1, arrival_ms=1.0, deadline_ms=1e6,
+                     priorities=(7,)),
+    ]
+    return run_simulation(requests, FCFSScheduler(),
+                          constant_service(10.0), priority_levels=8)
+
+
+class TestSummaries:
+    def test_summarize_keys(self):
+        summary = summarize_metrics(make_result().metrics)
+        assert summary["served"] == 2.0
+        assert summary["missed"] == 1.0
+        assert 0.0 <= summary["utilization"] <= 1.0
+        assert summary["makespan_ms"] == 20.0
+
+    def test_format_result_mentions_everything(self):
+        text = format_result(make_result())
+        assert "fcfs" in text
+        assert "deadline misses" in text
+        assert "2 submitted" in text
+
+    def test_format_result_weighted(self):
+        text = format_result(make_result(), weighted=True)
+        assert "weighted loss" in text
+
+    def test_format_comparison_one_line_per_scheduler(self):
+        results = {"a": make_result(), "b": make_result()}
+        text = format_comparison(results)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "a" in lines[1]
+
+    def test_format_comparison_weighted_column(self):
+        text = format_comparison({"x": make_result()}, weighted=True)
+        assert "w-loss" in text.splitlines()[0]
+
+    def test_miss_histogram_bars(self):
+        metrics = make_result().metrics
+        text = miss_histogram(metrics, dim=0)
+        assert "L0" in text and "L7" in text
+        assert "#" in text  # the missed level gets a bar
+
+    def test_miss_histogram_no_misses(self):
+        requests = [make_request(request_id=0, priorities=(0,))]
+        result = run_simulation(requests, FCFSScheduler(),
+                                constant_service(1.0), priority_levels=4)
+        text = miss_histogram(result.metrics)
+        assert "#" not in text

@@ -1,0 +1,132 @@
+"""Coverage for the SFC-curve stage-3 variant and scheduler hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.schedulers.cello import CelloScheduler
+from repro.schedulers.fd_scan import FDScanScheduler
+from repro.schedulers.ssedo import SSEDOScheduler
+from tests.conftest import make_request
+
+
+def drain(scheduler, head=0):
+    order = []
+    while True:
+        request = scheduler.next_request(0.0, head)
+        if request is None:
+            return order
+        order.append(request.request_id)
+
+
+class TestSfcStage3:
+    """stage3_kind='sfc': a 2-D curve over (priority-deadline, seek)."""
+
+    def make(self, sfc3):
+        config = CascadedSFCConfig(
+            priority_dims=1, priority_levels=8, sfc1="sweep",
+            use_stage2=False,
+            stage3_kind="sfc", sfc3=sfc3, stage3_x_cells=8,
+            dispatcher="full",
+        )
+        return CascadedSFCScheduler(config, cylinders=100)
+
+    @pytest.mark.parametrize("sfc3", ["sweep", "scan", "hilbert"])
+    def test_orders_near_cylinders_first_at_equal_priority(self, sfc3):
+        scheduler = self.make(sfc3)
+        scheduler.submit(
+            make_request(request_id=1, priorities=(3,), cylinder=90),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, priorities=(3,), cylinder=5),
+            0.0, 0)
+        assert drain(scheduler) == [2, 1]
+
+    def test_sweep_stage3_is_seek_major(self):
+        # SweepCurve: x (the priority axis) fastest, y (seek) major.
+        scheduler = self.make("sweep")
+        scheduler.submit(
+            make_request(request_id=1, priorities=(0,), cylinder=90),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, priorities=(7,), cylinder=5),
+            0.0, 0)
+        assert drain(scheduler) == [2, 1]
+
+    def test_cscan_stage3_is_priority_major(self):
+        config = CascadedSFCConfig(
+            priority_dims=1, priority_levels=8, sfc1="sweep",
+            use_stage2=False,
+            stage3_kind="sfc", sfc3="cscan", stage3_x_cells=8,
+            dispatcher="full",
+        )
+        scheduler = CascadedSFCScheduler(config, cylinders=100)
+        scheduler.submit(
+            make_request(request_id=1, priorities=(0,), cylinder=90),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, priorities=(7,), cylinder=5),
+            0.0, 0)
+        assert drain(scheduler) == [1, 2]
+
+
+class TestFDScanDynamics:
+    def test_direction_adapts_to_new_deadline(self):
+        scheduler = FDScanScheduler(1000)
+        scheduler.submit(
+            make_request(request_id=1, cylinder=900, deadline_ms=5000.0),
+            0.0, 500)
+        # A much more urgent (still feasible) request below the head
+        # re-aims the scan downward.
+        scheduler.submit(
+            make_request(request_id=2, cylinder=100, deadline_ms=100.0),
+            0.0, 500)
+        assert scheduler.next_request(0.0, 500).request_id == 2
+
+    def test_all_relaxed_deadlines_fall_back_to_nearest(self):
+        scheduler = FDScanScheduler(1000)
+        scheduler.submit(make_request(request_id=1, cylinder=800),
+                         0.0, 500)
+        scheduler.submit(make_request(request_id=2, cylinder=520),
+                         0.0, 500)
+        assert scheduler.next_request(0.0, 500).request_id == 2
+
+
+class TestSSEDOWindow:
+    def test_window_restricts_candidates(self):
+        # With window=1, only the earliest-deadline request competes,
+        # regardless of seek.
+        scheduler = SSEDOScheduler(100, window=1)
+        scheduler.submit(
+            make_request(request_id=1, cylinder=99, deadline_ms=10.0),
+            0.0, 0)
+        scheduler.submit(
+            make_request(request_id=2, cylinder=1, deadline_ms=20.0),
+            0.0, 0)
+        assert scheduler.next_request(0.0, 0).request_id == 1
+
+
+class TestCelloCustomization:
+    def test_custom_classifier_and_weights(self):
+        scheduler = CelloScheduler(
+            100,
+            weights={"gold": 0.9, "bronze": 0.1},
+            classifier=lambda r: "gold" if r.priorities
+            and r.priorities[0] == 0 else "bronze",
+        )
+        scheduler.submit(make_request(request_id=1, priorities=(5,)),
+                         0.0, 0)
+        scheduler.submit(make_request(request_id=2, priorities=(0,)),
+                         0.0, 0)
+        # Gold's deficit dominates: the gold request goes first.
+        assert scheduler.next_request(0.0, 0).request_id == 2
+
+    def test_class_names_exposed(self):
+        scheduler = CelloScheduler(100, weights={"a": 1.0})
+        assert scheduler.class_names == ("a",)
+        with pytest.raises(KeyError):
+            # default classifier produces names outside {"a"}
+            scheduler.submit(make_request(request_id=1, priorities=(0,)),
+                             0.0, 0)

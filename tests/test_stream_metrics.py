@@ -1,0 +1,65 @@
+"""Tests for per-stream (per-user) miss accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.disk import make_xp32150_geometry
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.metrics import MetricsCollector
+from repro.sim.server import run_simulation
+from repro.sim.service import constant_service
+from repro.workloads.multimedia import VideoServerWorkload
+from tests.conftest import make_request
+
+
+class TestStreamAccounting:
+    def test_counts_per_stream(self):
+        metrics = MetricsCollector(1, 8)
+        on_time = make_request(priorities=(0,), deadline_ms=100.0,
+                               stream_id=7)
+        late = make_request(priorities=(0,), deadline_ms=10.0,
+                            stream_id=7)
+        other = make_request(priorities=(0,), deadline_ms=100.0,
+                             stream_id=9)
+        metrics.on_complete(on_time, 50.0)
+        metrics.on_complete(late, 50.0)
+        metrics.on_complete(other, 50.0)
+        ratios = metrics.stream_miss_ratios()
+        assert ratios[7] == pytest.approx(0.5)
+        assert ratios[9] == 0.0
+
+    def test_anonymous_requests_ignored(self):
+        metrics = MetricsCollector(1, 8)
+        metrics.on_complete(make_request(priorities=(0,)), 1.0)
+        assert metrics.stream_miss_ratios() == {}
+
+    def test_glitching_streams(self):
+        metrics = MetricsCollector(1, 8)
+        metrics.on_complete(
+            make_request(priorities=(0,), deadline_ms=1.0, stream_id=1),
+            5.0)
+        metrics.on_complete(
+            make_request(priorities=(0,), deadline_ms=100.0, stream_id=2),
+            5.0)
+        assert metrics.glitching_streams() == [1]
+
+    def test_worst_stream(self):
+        metrics = MetricsCollector(1, 8)
+        assert metrics.worst_stream() is None
+        metrics.on_complete(
+            make_request(priorities=(0,), deadline_ms=1.0, stream_id=3),
+            5.0)
+        stream, ratio = metrics.worst_stream()
+        assert stream == 3
+        assert ratio == 1.0
+
+    def test_end_to_end_with_video_workload(self):
+        workload = VideoServerWorkload(users=6, blocks_per_user=8)
+        requests = workload.generate_streams(1, make_xp32150_geometry())
+        result = run_simulation(requests, FCFSScheduler(),
+                                constant_service(5.0),
+                                priority_levels=8)
+        ratios = result.metrics.stream_miss_ratios()
+        assert set(ratios) == set(range(6))
+        assert all(0.0 <= r <= 1.0 for r in ratios.values())

@@ -1,0 +1,111 @@
+"""Tests for the dispatch timeline and workload scaling utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.server import TimelineEntry, run_simulation
+from repro.sim.service import constant_service
+from repro.workloads.base import scale_arrivals, truncate_after
+from repro.workloads.poisson import PoissonWorkload
+from tests.conftest import make_request
+
+
+class TestTimeline:
+    def run(self, **kwargs):
+        requests = [
+            make_request(request_id=0, arrival_ms=0.0, priorities=(0,)),
+            make_request(request_id=1, arrival_ms=1.0, priorities=(0,),
+                         deadline_ms=kwargs.pop("deadline1", 1e9)),
+        ]
+        return run_simulation(requests, FCFSScheduler(),
+                              constant_service(10.0),
+                              record_timeline=True, **kwargs)
+
+    def test_disabled_by_default(self):
+        result = run_simulation(
+            [make_request(request_id=0, priorities=(0,))],
+            FCFSScheduler(), constant_service(1.0),
+        )
+        assert result.timeline is None
+
+    def test_one_entry_per_dispatch(self):
+        result = self.run()
+        assert [e.request_id for e in result.timeline] == [0, 1]
+
+    def test_entries_do_not_overlap(self):
+        result = self.run()
+        first, second = result.timeline
+        assert first.end_ms <= second.start_ms
+        assert first.end_ms - first.start_ms == pytest.approx(10.0)
+
+    def test_drop_entries_flagged(self):
+        result = self.run(deadline1=2.0, drop_expired=True)
+        dropped = [e for e in result.timeline if e.dropped]
+        assert len(dropped) == 1
+        assert dropped[0].request_id == 1
+        assert dropped[0].start_ms == dropped[0].end_ms
+
+    def test_timeline_entry_is_frozen(self):
+        entry = TimelineEntry(0, 0.0, 1.0, 3)
+        with pytest.raises(AttributeError):
+            entry.start_ms = 5.0  # type: ignore[misc]
+
+
+class TestScaleArrivals:
+    def test_compresses_arrivals(self):
+        requests = PoissonWorkload(count=50).generate(1)
+        halved = scale_arrivals(requests, 0.5)
+        for old, new in zip(requests, halved):
+            assert new.arrival_ms == pytest.approx(old.arrival_ms * 0.5)
+
+    def test_preserves_relative_deadlines(self):
+        requests = PoissonWorkload(count=50).generate(1)
+        scaled = scale_arrivals(requests, 2.0)
+        for old, new in zip(requests, scaled):
+            assert (new.deadline_ms - new.arrival_ms) == pytest.approx(
+                old.deadline_ms - old.arrival_ms
+            )
+
+    def test_relaxed_deadlines_stay_relaxed(self):
+        requests = [make_request(request_id=0, arrival_ms=10.0)]
+        scaled = scale_arrivals(requests, 0.1)
+        assert math.isinf(scaled[0].deadline_ms)
+
+    def test_identity(self):
+        requests = PoissonWorkload(count=10).generate(2)
+        assert scale_arrivals(requests, 1.0) == requests
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_arrivals([], 0.0)
+
+    def test_scaling_changes_load(self):
+        """Halving interarrivals doubles the pressure: more misses."""
+        requests = PoissonWorkload(
+            count=300, mean_interarrival_ms=12.0,
+            priority_dims=1, priority_levels=8,
+            deadline_range_ms=(100.0, 200.0),
+        ).generate(3)
+        base = run_simulation(requests, FCFSScheduler(),
+                              constant_service(10.0), priority_levels=8)
+        heavy = run_simulation(scale_arrivals(requests, 0.5),
+                               FCFSScheduler(), constant_service(10.0),
+                               priority_levels=8)
+        assert heavy.metrics.missed > base.metrics.missed
+
+
+class TestTruncate:
+    def test_cutoff(self):
+        requests = [
+            make_request(request_id=i, arrival_ms=float(i) * 10)
+            for i in range(10)
+        ]
+        kept = truncate_after(requests, 45.0)
+        assert [r.request_id for r in kept] == [0, 1, 2, 3, 4]
+
+    def test_empty(self):
+        assert truncate_after([], 100.0) == []

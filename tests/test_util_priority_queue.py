@@ -1,0 +1,155 @@
+"""Tests for the indexed priority queue, including a model-based check."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.priority_queue import IndexedPriorityQueue
+
+
+class TestBasics:
+    def test_empty(self):
+        q = IndexedPriorityQueue()
+        assert len(q) == 0
+        assert not q
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_push_pop_order(self):
+        q = IndexedPriorityQueue()
+        q.push("b", 2)
+        q.push("a", 1)
+        q.push("c", 3)
+        assert q.pop() == ("a", 1)
+        assert q.pop() == ("b", 2)
+        assert q.pop() == ("c", 3)
+
+    def test_fifo_tie_break(self):
+        q = IndexedPriorityQueue()
+        q.push("first", 5)
+        q.push("second", 5)
+        q.push("third", 5)
+        assert [q.pop()[0] for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek_does_not_remove(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 1)
+        assert q.peek() == ("x", 1)
+        assert len(q) == 1
+
+    def test_contains(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 1)
+        assert "x" in q
+        assert "y" not in q
+
+    def test_remove(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 1)
+        q.push("y", 2)
+        q.remove("x")
+        assert "x" not in q
+        assert q.pop() == ("y", 2)
+
+    def test_remove_missing_raises(self):
+        q = IndexedPriorityQueue()
+        with pytest.raises(KeyError):
+            q.remove("ghost")
+
+    def test_discard(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 1)
+        assert q.discard("x") is True
+        assert q.discard("x") is False
+
+    def test_push_replaces_priority(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 10)
+        q.push("y", 5)
+        q.push("x", 1)  # reprioritize
+        assert q.pop() == ("x", 1)
+        assert len(q) == 1
+
+    def test_priority_of(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 42)
+        assert q.priority_of("x") == 42
+        with pytest.raises(KeyError):
+            q.priority_of("y")
+
+    def test_items_iterates_live_entries(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 1)
+        q.push("y", 2)
+        q.remove("x")
+        assert dict(q.items()) == {"y": 2}
+
+    def test_clear(self):
+        q = IndexedPriorityQueue()
+        q.push("x", 1)
+        q.clear()
+        assert len(q) == 0
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_compact_preserves_content(self):
+        q = IndexedPriorityQueue()
+        for i in range(100):
+            q.push(i, i)
+        for i in range(0, 100, 2):
+            q.remove(i)
+        q.compact()
+        assert [q.pop()[0] for _ in range(len(q))] == list(range(1, 100, 2))
+
+    def test_tuple_priorities(self):
+        q = IndexedPriorityQueue()
+        q.push("a", (1, 9))
+        q.push("b", (1, 2))
+        q.push("c", (0, 99))
+        assert [q.pop()[0] for _ in range(3)] == ["c", "b", "a"]
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pop", "remove"]),
+            st.integers(min_value=0, max_value=20),  # key
+            st.integers(min_value=-50, max_value=50),  # priority
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_model_based_against_sorted_list(ops):
+    """The queue behaves like a sorted (priority, insertion) list."""
+    q: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+    model: dict[int, tuple[int, int]] = {}  # key -> (priority, seq)
+    seq = 0
+    for op, key, priority in ops:
+        if op == "push":
+            q.push(key, priority)
+            model[key] = (priority, seq)
+            seq += 1
+        elif op == "remove":
+            if key in model:
+                q.remove(key)
+                del model[key]
+            else:
+                with pytest.raises(KeyError):
+                    q.remove(key)
+        else:  # pop
+            if model:
+                expected_key = min(model, key=lambda k: model[k])
+                popped_key, popped_priority = q.pop()
+                assert popped_key == expected_key
+                assert popped_priority == model[expected_key][0]
+                del model[expected_key]
+            else:
+                with pytest.raises(IndexError):
+                    q.pop()
+        assert len(q) == len(model)
+        assert set(dict(q.items())) == set(model)

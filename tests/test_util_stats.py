@@ -1,0 +1,108 @@
+"""Tests for statistics helpers, cross-checked against numpy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    RunningStats,
+    mean,
+    normalize_to,
+    percentile,
+    safe_ratio,
+    stddev,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.stddev == 0.0
+        assert s.total == 0.0
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.stddev == 0.0
+        assert s.minimum == 5.0
+        assert s.maximum == 5.0
+
+    def test_known_sequence(self):
+        s = RunningStats()
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.mean == pytest.approx(5.0)
+        assert s.stddev == pytest.approx(2.0)
+
+    def test_repr(self):
+        s = RunningStats()
+        s.add(1.0)
+        assert "count=1" in repr(s)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, values):
+        s = RunningStats()
+        s.extend(values)
+        assert s.mean == pytest.approx(float(np.mean(values)), abs=1e-6,
+                                       rel=1e-9)
+        assert s.variance == pytest.approx(float(np.var(values)), abs=1e-4,
+                                           rel=1e-6)
+        assert s.minimum == min(values)
+        assert s.maximum == max(values)
+
+
+class TestFunctions:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_stddev_empty(self):
+        assert stddev([]) == 0.0
+
+    def test_stddev_known(self):
+        assert stddev([1.0, 1.0, 1.0]) == 0.0
+        assert stddev([0.0, 2.0]) == 1.0
+
+    def test_percentile_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_single(self):
+        assert percentile([7.0], 35) == 7.0
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_matches_numpy(self, values, q):
+        ours = percentile(values, q)
+        theirs = float(np.percentile(values, q))
+        assert ours == pytest.approx(theirs, abs=1e-6, rel=1e-9)
+
+    def test_normalize_to(self):
+        assert normalize_to([1.0, 2.0], 4.0) == [25.0, 50.0]
+
+    def test_normalize_to_zero_reference(self):
+        assert normalize_to([1.0, 2.0], 0.0) == [0.0, 0.0]
+
+    def test_safe_ratio(self):
+        assert safe_ratio(1.0, 2.0) == 0.5
+        assert safe_ratio(0.0, 0.0) == 0.0
+        assert math.isinf(safe_ratio(1.0, 0.0))

@@ -1,0 +1,102 @@
+"""Tests for workload characterization and load calibration."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.disk.disk import make_xp32150_disk
+from repro.workloads.analysis import (
+    describe,
+    estimate_service_ms,
+    estimate_utilization,
+    profile_workload,
+)
+from repro.workloads.poisson import PoissonWorkload
+from tests.conftest import make_request
+
+
+class TestProfileWorkload:
+    def test_empty(self):
+        profile = profile_workload([])
+        assert profile.count == 0
+        assert profile.arrival_rate_per_s == 0.0
+
+    def test_basic_statistics(self):
+        requests = [
+            make_request(request_id=i, arrival_ms=i * 10.0, nbytes=2048,
+                         deadline_ms=i * 10.0 + 500.0, priorities=(i % 4,),
+                         is_write=(i % 2 == 0))
+            for i in range(11)
+        ]
+        profile = profile_workload(requests, priority_levels=4)
+        assert profile.count == 11
+        assert profile.duration_ms == 100.0
+        assert profile.mean_interarrival_ms == pytest.approx(10.0)
+        assert profile.interarrival_cv == pytest.approx(0.0)
+        assert profile.mean_nbytes == 2048.0
+        assert profile.write_fraction == pytest.approx(6 / 11)
+        assert profile.mean_relative_deadline_ms == pytest.approx(500.0)
+        assert sum(profile.level_histogram[0]) == 11
+
+    def test_relaxed_deadline_fraction(self):
+        requests = [
+            make_request(request_id=0, deadline_ms=math.inf,
+                         priorities=(0,)),
+            make_request(request_id=1, arrival_ms=1.0, deadline_ms=100.0,
+                         priorities=(0,)),
+        ]
+        profile = profile_workload(requests)
+        assert profile.relaxed_deadline_fraction == pytest.approx(0.5)
+
+    def test_poisson_cv_near_one(self):
+        requests = PoissonWorkload(count=2000,
+                                   mean_interarrival_ms=20.0).generate(3)
+        profile = profile_workload(requests)
+        assert profile.interarrival_cv == pytest.approx(1.0, abs=0.15)
+        assert profile.mean_interarrival_ms == pytest.approx(20.0,
+                                                             rel=0.1)
+
+    def test_describe_renders(self):
+        requests = PoissonWorkload(count=20).generate(1)
+        text = describe(profile_workload(requests))
+        assert "requests" in text
+        assert "arrival rate" in text
+        assert "levels dim 0" in text
+
+
+class TestLoadEstimates:
+    def test_service_estimate_components(self, disk):
+        requests = [make_request(request_id=0, cylinder=0, nbytes=0,
+                                 priorities=())]
+        stats = estimate_service_ms(requests, disk)
+        # Zero transfer: random seek + half revolution only.
+        expected = (disk.seek_model.expected_random_seek_ms()
+                    + disk.rotation.average_latency_ms)
+        assert stats.mean == pytest.approx(expected)
+
+    def test_sample_stride(self, disk):
+        requests = PoissonWorkload(count=100, nbytes=4096).generate(1)
+        full = estimate_service_ms(requests, disk)
+        strided = estimate_service_ms(requests, disk, sample_stride=10)
+        assert strided.count == 10
+        assert strided.mean == pytest.approx(full.mean, rel=0.25)
+        with pytest.raises(ValueError):
+            estimate_service_ms(requests, disk, sample_stride=0)
+
+    def test_utilization_scales_with_rate(self, disk):
+        light = PoissonWorkload(count=300, mean_interarrival_ms=100.0,
+                                nbytes=4096).generate(2)
+        heavy = PoissonWorkload(count=300, mean_interarrival_ms=5.0,
+                                nbytes=4096).generate(2)
+        u_light = estimate_utilization(light, disk)
+        u_heavy = estimate_utilization(heavy, disk)
+        assert u_light < 0.3
+        assert u_heavy > 1.0
+        assert u_heavy > u_light * 10
+
+    def test_utilization_degenerate(self, disk):
+        assert estimate_utilization([], disk) == 0.0
+        one = [make_request(request_id=0, priorities=())]
+        assert estimate_utilization(one, disk) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for trace persistence: exact round-tripping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.request import DiskRequest
+from repro.workloads.poisson import PoissonWorkload
+from repro.workloads.traces import (
+    load_trace,
+    save_trace,
+    trace_from_string,
+    trace_to_string,
+)
+from tests.conftest import make_request
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        requests = [
+            make_request(request_id=0, arrival_ms=1.5, cylinder=10,
+                         nbytes=4096, deadline_ms=100.25,
+                         priorities=(1, 2), value=3.5, stream_id=7,
+                         is_write=True),
+            make_request(request_id=1, arrival_ms=2.0, cylinder=0,
+                         nbytes=0, deadline_ms=math.inf, priorities=()),
+        ]
+        assert trace_from_string(trace_to_string(requests)) == requests
+
+    def test_file_round_trip(self, tmp_path):
+        requests = PoissonWorkload(count=50).generate(3)
+        path = tmp_path / "trace.csv"
+        assert save_trace(requests, path) == 50
+        assert load_trace(path) == requests
+
+    def test_empty_trace(self):
+        assert trace_from_string(trace_to_string([])) == []
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            trace_from_string("foo,bar\n1,2\n")
+
+    def test_rejects_malformed_row(self):
+        text = trace_to_string([make_request()])
+        broken = text + "1,2,3\n"
+        with pytest.raises(ValueError):
+            trace_from_string(broken)
+
+    def test_skips_blank_lines(self):
+        text = trace_to_string([make_request()]) + "\n\n"
+        assert len(trace_from_string(text)) == 1
+
+
+request_strategy = st.builds(
+    DiskRequest,
+    request_id=st.integers(min_value=0, max_value=10_000),
+    arrival_ms=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    cylinder=st.integers(min_value=0, max_value=3831),
+    nbytes=st.integers(min_value=0, max_value=1 << 24),
+    deadline_ms=st.one_of(
+        st.just(math.inf),
+        st.floats(min_value=0, max_value=1e7, allow_nan=False),
+    ),
+    priorities=st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    value=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    stream_id=st.integers(min_value=-1, max_value=1000),
+    is_write=st.booleans(),
+)
+
+
+@given(st.lists(request_strategy, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_round_trip_property(requests):
+    assert trace_from_string(trace_to_string(requests)) == requests
