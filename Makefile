@@ -1,18 +1,28 @@
 # Convenience targets for the Cascaded-SFC reproduction.
+#
+# The package lives in src/ and is not installed by default, so every
+# python-invoking target exports PYTHONPATH=src to work from a clean
+# checkout.
 
-.PHONY: test bench experiments experiments-quick coverage loc
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench experiments experiments-quick serve-demo coverage loc
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) pytest benchmarks/ --benchmark-only
 
 experiments:
-	python -m repro.experiments run all
+	$(PYTHONPATH_SRC) python -m repro.experiments run all
 
 experiments-quick:
-	python -m repro.experiments run all --quick
+	$(PYTHONPATH_SRC) python -m repro.experiments run all --quick
+
+serve-demo:
+	$(PYTHONPATH_SRC) python -m repro.experiments serve --quick \
+		--report-every 10000
 
 loc:
 	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

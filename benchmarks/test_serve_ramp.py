@@ -1,0 +1,51 @@
+"""Bench: the serving-layer ramp lands in the Section 6 users/disk band.
+
+Guards the dispatch hot path and the admission budget: if either
+regresses, the achieved users/disk drifts out of the recorded band or
+the run starts shedding/missing wholesale.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+from repro.experiments.serve_demo import PAPER_BAND, ServeSpec, run
+
+RAMP_CSV = pathlib.Path(__file__).resolve().parent.parent / "results" \
+    / "serve_ramp.csv"
+
+
+def test_serve_ramp_users_per_disk(once):
+    result = once(run, ServeSpec().quick())
+    print()
+    print(result.summary.render())
+    lo, hi = PAPER_BAND
+    # Achieved operating point sits in the paper's empirical band.
+    assert lo <= result.accepted_users <= hi
+    assert lo <= result.achieved_users + result.stats.downgraded <= hi
+    # The admission controller actually pushed back.
+    assert result.stats.rejected > 0
+    # QoS stays sane at the operating point: the vast majority of
+    # dispatched blocks complete on time.
+    assert result.stats.miss_ratio < 0.25
+    assert 0.5 < result.stats.measured_utilization <= 1.0
+
+
+def test_serve_ramp_matches_recorded_csv():
+    """The committed results/serve_ramp.csv reflects today's code.
+
+    The saturation point is a pure function of the admission budget, so
+    quick mode (shorter intervals, same attempts) must reproduce the
+    recorded full-run counts exactly.
+    """
+    with RAMP_CSV.open() as fh:
+        rows = list(csv.reader(fh))
+    summary = rows[-1]
+    assert summary[0] == "achieved_users_full_qos"
+    recorded_full_qos = int(summary[1])
+    recorded_accepted = int(summary[3])
+
+    result = run(ServeSpec().quick())
+    assert result.achieved_users == recorded_full_qos
+    assert result.accepted_users == recorded_accepted

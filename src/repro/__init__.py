@@ -5,7 +5,10 @@ Mokbel, Aref, Elbassioni and Kamel, together with every substrate the
 paper's evaluation depends on: a space-filling curve library, a zoned
 disk / RAID-5 model, an event-driven disk-server simulator, the
 workload generators, all baseline schedulers, and one experiment module
-per figure and table.
+per figure and table.  On top of the offline substrate,
+:mod:`repro.serve` adds the online serving layer: an
+admission-controlled, clock-driven streaming server with QoS
+observability (the front-end the paper's PanaViss setting presumes).
 
 Quick start::
 
@@ -31,11 +34,22 @@ from .core import (
 )
 from .disk import DiskModel, make_xp32150_disk
 from .schedulers import Scheduler, make_baseline
+from .serve import (
+    AdmissionDecision,
+    ServerConfig,
+    ServerStats,
+    SessionManager,
+    StreamSpec,
+    StreamingServer,
+    VirtualClock,
+    make_admission,
+)
 from .sim import DiskService, SimulationResult, run_simulation
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionDecision",
     "CascadedSFCConfig",
     "CascadedSFCScheduler",
     "DiskModel",
@@ -44,7 +58,14 @@ __all__ = [
     "Encapsulator",
     "EncodeContext",
     "Scheduler",
+    "ServerConfig",
+    "ServerStats",
+    "SessionManager",
     "SimulationResult",
+    "StreamSpec",
+    "StreamingServer",
+    "VirtualClock",
+    "make_admission",
     "make_baseline",
     "make_xp32150_disk",
     "run_simulation",

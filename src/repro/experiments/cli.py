@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments run fig5 [--quick]
     python -m repro.experiments run all [--quick]
+    python -m repro.experiments serve [--quick] [--policy reservation]
 """
 
 from __future__ import annotations
@@ -94,6 +95,37 @@ def run_experiment(name: str, quick: bool,
             print(f"wrote {path}", file=out)
 
 
+def run_serve(args) -> int:
+    """The online serving-layer ramp demo (`serve` subcommand)."""
+    from . import serve_demo
+
+    spec = serve_demo.ServeSpec(
+        scheduler=args.scheduler,
+        policy=args.policy,
+        report_every_ms=args.report_every,
+    )
+    if args.quick:
+        spec = spec.quick()
+    started = time.perf_counter()
+    print("=== serve: admission-controlled streaming ramp "
+          f"(scheduler={spec.scheduler}, policy={spec.policy})")
+    result = serve_demo.run(spec)
+    print(result.summary.render())
+    print()
+    if args.verbose:
+        print(result.decisions_table.render())
+        print()
+    if args.out is not None:
+        print(f"wrote {serve_demo.write_ramp_csv(result, args.out)}")
+    if args.csv is not None:
+        from .export import export_tables
+        tables = [result.summary, result.decisions_table]
+        for path in export_tables(tables, args.csv, prefix="serve-"):
+            print(f"wrote {path}")
+    print(f"--- serve done in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -107,12 +139,34 @@ def main(argv: list[str] | None = None) -> int:
                         help="benchmark-sized instance")
     runner.add_argument("--csv", metavar="DIR", default=None,
                         help="also export every table as CSV into DIR")
+    server = sub.add_parser(
+        "serve", help="online serving-layer ramp demo (repro.serve)"
+    )
+    server.add_argument("--quick", action="store_true",
+                        help="short ramp (same saturation point)")
+    server.add_argument("--policy", default="reservation",
+                        choices=("reservation", "measurement", "always"),
+                        help="admission controller")
+    server.add_argument("--scheduler", default="cascaded-sfc",
+                        help="serving scheduler (registry name)")
+    server.add_argument("--report-every", type=float, default=None,
+                        metavar="MS", help="periodic QoS report interval")
+    server.add_argument("--verbose", action="store_true",
+                        help="also print the per-user decision table")
+    server.add_argument("--out", metavar="PATH", default=None,
+                        help="write the ramp decisions CSV to PATH")
+    server.add_argument("--csv", metavar="DIR", default=None,
+                        help="also export tables as CSV into DIR")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:8s} {DESCRIPTIONS[name]}")
+        print("serve    online admission-controlled streaming ramp")
         return 0
+
+    if args.command == "serve":
+        return run_serve(args)
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:

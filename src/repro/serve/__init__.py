@@ -1,0 +1,90 @@
+"""Online serving layer: admission-controlled streaming disk service.
+
+The offline packages replay closed workloads; :mod:`repro.serve` is the
+component that faces *arriving* users.  It wraps any registered
+scheduler in a clock-driven loop (:class:`StreamingServer`), models
+each user as a periodic :class:`StreamSession`, gates new streams with
+an :class:`AdmissionPolicy` built on the Table 1 disk budget, degrades
+gracefully under overload (bounded queue, load shedding by lowest SFC
+priority), and exposes QoS through structured :class:`TraceEvent`
+records and :class:`ServerStats` snapshots.
+
+Quick start::
+
+    from repro.disk import make_xp32150_disk
+    from repro.schedulers import make_baseline
+    from repro.serve import (
+        ReservationAdmission, ServerConfig, SessionManager,
+        StreamingServer, StreamSpec, VirtualClock,
+    )
+    from repro.sim import DiskService
+
+    disk = make_xp32150_disk()
+    server = StreamingServer(
+        make_baseline("scan-edf"), DiskService(disk),
+        SessionManager(disk.geometry, seed=7),
+        ReservationAdmission(disk),
+        clock=VirtualClock(),
+    )
+    result, session = server.open_stream(
+        StreamSpec(rate_mbps=0.375, priorities=(2,), blocks=100)
+    )
+    server.run_until(60_000.0)
+    print(server.stats().summary_line())
+"""
+
+from .adapter import (
+    OfflineRamp,
+    RampDecision,
+    RampEvent,
+    replay_ramp_offline,
+    run_ramp_online,
+    uniform_ramp,
+)
+from .admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionResult,
+    AlwaysAdmit,
+    LoadSnapshot,
+    MeasurementAdmission,
+    ReservationAdmission,
+    make_admission,
+)
+from .clock import Clock, VirtualClock, WallClock
+from .server import ServerConfig, StreamingServer
+from .session import SessionManager, StreamSession, StreamSpec
+from .stats import QoSReporter, ServerStats, StreamQoS, StreamQoSTracker
+from .trace import TRACE_KINDS, TraceEvent, TraceLog
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmissionResult",
+    "AlwaysAdmit",
+    "Clock",
+    "LoadSnapshot",
+    "MeasurementAdmission",
+    "OfflineRamp",
+    "QoSReporter",
+    "RampDecision",
+    "RampEvent",
+    "ReservationAdmission",
+    "ServerConfig",
+    "ServerStats",
+    "SessionManager",
+    "StreamQoS",
+    "StreamQoSTracker",
+    "StreamSession",
+    "StreamSpec",
+    "StreamingServer",
+    "TRACE_KINDS",
+    "TraceEvent",
+    "TraceLog",
+    "VirtualClock",
+    "WallClock",
+    "make_admission",
+    "replay_ramp_offline",
+    "run_ramp_online",
+    "uniform_ramp",
+]

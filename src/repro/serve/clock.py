@@ -1,0 +1,63 @@
+"""Clocks for the online serving layer.
+
+The :class:`~repro.serve.server.StreamingServer` is clock-driven: it
+never reads ``time.time`` directly, it asks an injected :class:`Clock`.
+Tests and the ramp demo inject a :class:`VirtualClock`, which makes a
+"live" server fully deterministic (same decisions, same trace, same
+QoS counters on every run); production-style usage injects a
+:class:`WallClock` and the same loop paces itself against real time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time source driving the serving loop (milliseconds)."""
+
+    def now_ms(self) -> float:
+        """Current time in milliseconds."""
+        ...
+
+    def sleep_until(self, time_ms: float) -> None:
+        """Block (or jump) until ``time_ms``; no-op if already past."""
+        ...
+
+
+class VirtualClock:
+    """Deterministic manual clock: ``sleep_until`` jumps instantly."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = float(start_ms)
+
+    def now_ms(self) -> float:
+        return self._now
+
+    def sleep_until(self, time_ms: float) -> None:
+        if time_ms > self._now:
+            self._now = time_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Move the clock forward by ``delta_ms`` and return the new now."""
+        if delta_ms < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += delta_ms
+        return self._now
+
+
+class WallClock:
+    """Real time via ``time.monotonic`` (origin at construction)."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now_ms(self) -> float:
+        return (time.monotonic() - self._origin) * 1e3
+
+    def sleep_until(self, time_ms: float) -> None:
+        delay_s = (time_ms - self.now_ms()) / 1e3
+        if delay_s > 0:
+            time.sleep(delay_s)

@@ -1,0 +1,383 @@
+"""The online serving loop: sessions -> admission -> scheduler -> disk.
+
+:class:`StreamingServer` is the serving-layer counterpart of the
+offline :func:`repro.sim.run_simulation`: it wraps the same
+:class:`~repro.schedulers.base.Scheduler` and
+:class:`~repro.sim.service.ServiceModel` interfaces, but instead of
+replaying a closed request list it is *clock-driven*: admitted
+:class:`~repro.serve.session.StreamSession` feeds become due as time
+advances, an :class:`~repro.serve.admission.AdmissionPolicy` gates new
+streams, and overload is degraded gracefully — the request queue is
+bounded, and when it overflows the server either sheds the
+lowest-priority queued victims (``shed_policy="lowest-priority"``) or
+exerts backpressure by deferring session polls
+(``shed_policy="none"``).
+
+Every decision lands in a :class:`~repro.serve.trace.TraceLog`, and
+all timing/miss accounting reuses
+:class:`~repro.sim.metrics.MetricsCollector`, so the online QoS
+numbers reconcile exactly with the offline simulator's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.request import DiskRequest
+from repro.schedulers.base import Scheduler
+from repro.sim.metrics import MetricsCollector
+from repro.sim.service import ServiceModel
+
+from .admission import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionResult,
+    LoadSnapshot,
+)
+from .clock import Clock, VirtualClock
+from .session import SessionManager, StreamSession, StreamSpec
+from .stats import QoSReporter, ServerStats, StreamQoSTracker
+from .trace import TraceLog
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of the serving loop."""
+
+    #: Bound on queued (not yet dispatched) requests.
+    max_queue: int = 64
+    #: ``"lowest-priority"`` sheds queued victims on overflow;
+    #: ``"none"`` defers session polls instead (pure backpressure).
+    shed_policy: str = "lowest-priority"
+    #: Drop requests whose deadline already passed at dispatch time
+    #: (a late video frame is worthless — Section 6).
+    drop_expired: bool = True
+    priority_dims: int = 1
+    priority_levels: int = 8
+    #: Retained trace events (None = unbounded).
+    trace_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.shed_policy not in ("lowest-priority", "none"):
+            raise ValueError(
+                "shed_policy must be 'lowest-priority' or 'none'"
+            )
+
+
+class StreamingServer:
+    """Admission-controlled streaming disk server.
+
+    Drive it by alternating :meth:`open_stream` / :meth:`close_stream`
+    with :meth:`run_until` (advance the clock, serving everything due);
+    :meth:`quiesce` finishes all outstanding work of bounded sessions.
+    """
+
+    def __init__(self, scheduler: Scheduler, service: ServiceModel,
+                 manager: SessionManager, admission: AdmissionPolicy,
+                 *, clock: Clock | None = None,
+                 config: ServerConfig | None = None,
+                 reporter: QoSReporter | None = None) -> None:
+        self.scheduler = scheduler
+        self.service = service
+        self.manager = manager
+        self.admission = admission
+        self.clock = clock if clock is not None else VirtualClock()
+        self.config = config or ServerConfig()
+        self.reporter = reporter
+        self.trace = TraceLog(capacity=self.config.trace_capacity)
+        self.metrics = MetricsCollector(self.config.priority_dims,
+                                        self.config.priority_levels)
+        self.started_ms = self.clock.now_ms()
+        # Admission counters.
+        self.admitted = 0
+        self.downgraded = 0
+        self.rejected = 0
+        self.closed_streams = 0
+        # Dispatch-path counters.
+        self.dispatched = 0
+        self.preempted = 0
+        self.expired = 0
+        #: In-flight request and its completion instant, if busy.
+        self._busy: tuple[DiskRequest, float] | None = None
+        #: Ids counted as shed but still inside the scheduler queue.
+        self._shed_pending: set[int] = set()
+        #: Per-admitted-stream reserved utilization shares.
+        self._reservations: dict[int, float] = {}
+        self._qos: dict[int, StreamQoSTracker] = {}
+
+    # -- stream lifecycle -------------------------------------------------
+
+    @property
+    def reserved_utilization(self) -> float:
+        return sum(self._reservations.values())
+
+    def queue_length(self) -> int:
+        """Queued requests still eligible for service."""
+        return len(self.scheduler) - len(self._shed_pending)
+
+    def measured_utilization(self, now_ms: float | None = None) -> float:
+        elapsed = (self.clock.now_ms() if now_ms is None
+                   else now_ms) - self.started_ms
+        return self.metrics.busy_ms / elapsed if elapsed > 0 else 0.0
+
+    def load_snapshot(self) -> LoadSnapshot:
+        """Current load, as the admission controller sees it."""
+        now = self.clock.now_ms()
+        return LoadSnapshot(
+            time_ms=now,
+            active_streams=self.manager.active_streams,
+            reserved_utilization=self.reserved_utilization,
+            measured_utilization=self.measured_utilization(now),
+            miss_ratio=self.metrics.miss_ratio,
+            queue_length=self.queue_length(),
+        )
+
+    def open_stream(self, spec: StreamSpec
+                    ) -> tuple[AdmissionResult, StreamSession | None]:
+        """Ask admission control for a new stream at the current time.
+
+        Rejected specs get no session and therefore can never enqueue a
+        request; downgraded specs are admitted with the priority vector
+        the controller granted.
+        """
+        if len(spec.priorities) != self.config.priority_dims:
+            raise ValueError(
+                f"spec has {len(spec.priorities)} priority dims, "
+                f"server is configured for {self.config.priority_dims}"
+            )
+        now = self.clock.now_ms()
+        result = self.admission.decide(spec, self.load_snapshot())
+        if not result.admitted:
+            self.rejected += 1
+            self.trace.record(now, "reject", detail=result.reason)
+            return result, None
+        granted = spec
+        if (result.priorities is not None
+                and result.priorities != spec.priorities):
+            granted = spec.with_priorities(result.priorities)
+        session = self.manager.open(granted, now)
+        self._reservations[session.stream_id] = result.utilization
+        self._qos[session.stream_id] = StreamQoSTracker(session.stream_id)
+        if result.decision is AdmissionDecision.DOWNGRADE:
+            self.downgraded += 1
+            kind = "downgrade"
+        else:
+            self.admitted += 1
+            kind = "admit"
+        self.trace.record(now, kind, stream_id=session.stream_id,
+                          detail=result.reason)
+        return result, session
+
+    def close_stream(self, stream_id: int) -> StreamSession:
+        """End a stream; its queued requests still drain normally."""
+        now = self.clock.now_ms()
+        session = self.manager.close(stream_id, now)
+        self._retire(session, now)
+        return session
+
+    def _retire(self, session: StreamSession, now: float) -> None:
+        self._reservations.pop(session.stream_id, None)
+        self.closed_streams += 1
+        self.trace.record(now, "close", stream_id=session.stream_id,
+                          detail=f"issued={session.issued}")
+
+    # -- the clock-driven loop --------------------------------------------
+
+    def run_until(self, until_ms: float) -> None:
+        """Advance the clock to ``until_ms``, serving everything due."""
+        while True:
+            t = self._next_event_ms(until_ms)
+            if t is None:
+                break
+            self.clock.sleep_until(t)
+            self._process(max(t, self.clock.now_ms()))
+        self.clock.sleep_until(until_ms)
+
+    def run_for(self, delta_ms: float) -> None:
+        self.run_until(self.clock.now_ms() + delta_ms)
+
+    def quiesce(self) -> None:
+        """Serve until no work remains (bounded sessions only).
+
+        Runs completions, queued requests, and every remaining session
+        block to exhaustion.  Calling this with an open-ended (live)
+        session would never return; close those first.
+        """
+        for session in self.manager:
+            if session.spec.blocks is None:
+                raise RuntimeError(
+                    f"stream {session.stream_id} is open-ended; "
+                    "close it before quiescing"
+                )
+        while (self._busy is not None or self.queue_length() > 0
+               or self.manager.next_due_ms() is not None):
+            t = self._next_event_ms(math.inf)
+            if t is None:
+                break
+            self.clock.sleep_until(t)
+            self._process(max(t, self.clock.now_ms()))
+
+    def _next_event_ms(self, until_ms: float) -> float | None:
+        """Earliest actionable instant at or before ``until_ms``."""
+        now = self.clock.now_ms()
+        candidates: list[float] = []
+        if self._busy is not None:
+            candidates.append(self._busy[1])
+        if self.reporter is not None:
+            candidates.append(self.reporter.next_due_ms)
+        due = self.manager.next_due_ms()
+        if due is not None:
+            if due > now:
+                candidates.append(due)
+            elif self._poll_limit() != 0:
+                # Deferred (backpressured) work can be picked up now.
+                candidates.append(now)
+            # else: no room; the next completion will re-poll.
+        eligible = [c for c in candidates if c <= until_ms]
+        return min(eligible) if eligible else None
+
+    def _poll_limit(self) -> int | None:
+        """How many due requests may enter the queue right now."""
+        if self.config.shed_policy == "lowest-priority":
+            return None  # take everything; shedding restores the bound
+        return max(self.config.max_queue - self.queue_length(), 0)
+
+    def _process(self, now: float) -> None:
+        """Handle everything actionable at instant ``now``."""
+        if self._busy is not None and self._busy[1] <= now:
+            self._complete()
+        self._admit_due(now)
+        self._dispatch(now)
+        for session in self.manager.retire_exhausted(now):
+            self._retire(session, now)
+        if self.reporter is not None and self.reporter.due(now):
+            stats = self.stats()
+            self.reporter.report(stats)
+            self.trace.record(now, "report",
+                              detail=f"#{self.reporter.reports}")
+
+    def _admit_due(self, now: float) -> None:
+        """Move due session blocks into the scheduler queue."""
+        limit = self._poll_limit()
+        if limit == 0:
+            return
+        for request in self.manager.poll(now, limit):
+            tracker = self._qos.get(request.stream_id)
+            if tracker is not None:
+                tracker.on_issue()
+            self.scheduler.submit(request, now,
+                                  self.service.head_cylinder)
+        if self.config.shed_policy == "lowest-priority":
+            self._shed_to_capacity(now)
+
+    def _shed_to_capacity(self, now: float) -> None:
+        """Evict lowest-priority queued victims until the bound holds."""
+        while self.queue_length() > self.config.max_queue:
+            victims = [
+                r for r in self.scheduler.pending()
+                if r.request_id not in self._shed_pending
+            ]
+            if not victims:
+                break
+            victim = max(
+                victims,
+                key=lambda r: (r.priorities, r.deadline_ms, r.request_id),
+            )
+            self._shed_pending.add(victim.request_id)
+            self.preempted += 1
+            self.metrics.on_complete(victim, now, dropped=True)
+            tracker = self._qos.get(victim.stream_id)
+            if tracker is not None:
+                tracker.on_complete(now, missed=True, served=False)
+            self.trace.record(
+                now, "preempt", stream_id=victim.stream_id,
+                request_id=victim.request_id,
+                detail=f"shed level={max(victim.priorities, default=0)}",
+            )
+
+    def _dispatch(self, now: float) -> None:
+        """Start serving the scheduler's next pick if the disk is free."""
+        while self._busy is None:
+            request = self.scheduler.next_request(
+                now, self.service.head_cylinder
+            )
+            if request is None:
+                return
+            if request.request_id in self._shed_pending:
+                # Already counted as shed; let the scheduler forget it.
+                self._shed_pending.discard(request.request_id)
+                self.scheduler.on_served(request, now)
+                continue
+            self.metrics.note_queue_length(self.queue_length() + 1)
+            if self.config.drop_expired and now >= request.deadline_ms:
+                self.expired += 1
+                self.metrics.on_complete(request, now, dropped=True)
+                self.scheduler.on_served(request, now)
+                tracker = self._qos.get(request.stream_id)
+                if tracker is not None:
+                    tracker.on_complete(now, missed=True, served=False)
+                self.trace.record(now, "miss",
+                                  stream_id=request.stream_id,
+                                  request_id=request.request_id,
+                                  detail="expired")
+                continue
+            self.metrics.on_dispatch(request, self.scheduler.pending())
+            record = self.service.serve(request, now)
+            self.metrics.on_service(record.seek_ms, record.latency_ms,
+                                    record.transfer_ms)
+            self.dispatched += 1
+            self._busy = (request, now + record.total_ms)
+            self.trace.record(now, "dispatch",
+                              stream_id=request.stream_id,
+                              request_id=request.request_id)
+            return
+
+    def _complete(self) -> None:
+        assert self._busy is not None
+        request, completion = self._busy
+        self._busy = None
+        self.metrics.on_complete(request, completion)
+        self.scheduler.on_served(request, completion)
+        missed = completion > request.deadline_ms
+        tracker = self._qos.get(request.stream_id)
+        if tracker is not None:
+            tracker.on_complete(completion, missed)
+        self.trace.record(completion, "complete",
+                          stream_id=request.stream_id,
+                          request_id=request.request_id)
+        if missed:
+            self.trace.record(completion, "miss",
+                              stream_id=request.stream_id,
+                              request_id=request.request_id,
+                              detail="late")
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> ServerStats:
+        """Snapshot the current QoS state."""
+        now = self.clock.now_ms()
+        return ServerStats(
+            time_ms=now,
+            active_streams=self.manager.active_streams,
+            admitted=self.admitted,
+            downgraded=self.downgraded,
+            rejected=self.rejected,
+            closed=self.closed_streams,
+            dispatched=self.dispatched,
+            completed=self.metrics.completed,
+            missed=self.metrics.missed,
+            preempted=self.preempted,
+            expired=self.expired,
+            queue_length=self.queue_length(),
+            mean_queue_length=self.metrics.queue_length.mean,
+            reserved_utilization=self.reserved_utilization,
+            measured_utilization=self.measured_utilization(now),
+            miss_ratio=self.metrics.miss_ratio,
+            mean_response_ms=self.metrics.response_ms.mean,
+            streams=tuple(
+                self._qos[sid].snapshot() for sid in sorted(self._qos)
+            ),
+        )

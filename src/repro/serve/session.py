@@ -1,0 +1,262 @@
+"""Live stream sessions: per-user request feeds for the online server.
+
+The offline workloads (:mod:`repro.workloads.multimedia`) pre-generate
+a closed request list; the serving layer instead models each admitted
+user as an open-ended :class:`StreamSession` that *becomes due* once
+per period and is polled by the server loop.  A :class:`SessionManager`
+owns the admitted sessions, hands out globally increasing request ids,
+and can also *materialize* the identical request sequence up-front so
+the same population can be replayed through the offline simulator
+(:func:`repro.sim.run_simulation`) for deterministic tests — see
+:mod:`repro.serve.adapter`.
+
+Determinism contract: a session draws its per-request deadlines from a
+private RNG stream keyed by ``(seed, stream_id)`` in issue order, so
+polling a session live and materializing it offline produce identical
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from random import Random
+from typing import Iterator
+
+from repro.core.request import DiskRequest
+from repro.disk.disk import FILE_BLOCK_BYTES
+from repro.disk.geometry import DiskGeometry
+from repro.sim.rng import derive
+from repro.workloads.multimedia import stream_period_ms
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """What a user asks for when opening a stream.
+
+    Parameters
+    ----------
+    rate_mbps:
+        Consumption rate *as seen by this disk* (divide the stream rate
+        by the RAID data-disk count when modelling a striped server).
+    block_bytes:
+        Transfer unit; one request per period retrieves one block.
+    priorities:
+        Requested QoS vector (level 0 = highest); the admission
+        controller may downgrade it.
+    deadline_range_ms:
+        Per-block relative deadline, drawn uniformly from this range
+        (Section 6 uses U(750, 1500)).
+    start_block:
+        First file block; consecutive requests read consecutive blocks.
+    blocks:
+        Number of blocks in the title, or None for an open-ended live
+        stream (the session then wraps around the disk).
+    is_write:
+        True for a real-time ingest stream.
+    """
+
+    rate_mbps: float
+    block_bytes: int = FILE_BLOCK_BYTES
+    priorities: tuple[int, ...] = (0,)
+    deadline_range_ms: tuple[float, float] = (750.0, 1500.0)
+    start_block: int = 0
+    blocks: int | None = None
+    is_write: bool = False
+    #: Request value for value-based schedulers (larger = more valuable).
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_mbps <= 0:
+            raise ValueError("rate_mbps must be positive")
+        if self.block_bytes < 1:
+            raise ValueError("block_bytes must be >= 1")
+        if self.blocks is not None and self.blocks < 1:
+            raise ValueError("blocks must be >= 1 (or None)")
+        lo, hi = self.deadline_range_ms
+        if lo < 0 or hi < lo:
+            raise ValueError("deadline_range_ms must satisfy 0 <= lo <= hi")
+        if any(p < 0 for p in self.priorities):
+            raise ValueError("priority levels must be non-negative")
+
+    @property
+    def period_ms(self) -> float:
+        """Time one block lasts at the consumption rate."""
+        return stream_period_ms(self.rate_mbps, self.block_bytes)
+
+    def with_priorities(self, priorities: tuple[int, ...]) -> "StreamSpec":
+        return replace(self, priorities=priorities)
+
+
+class StreamSession:
+    """One admitted user's periodic block feed.
+
+    The session is a pure generator of due requests: the server polls
+    it through the :class:`SessionManager`; it never touches the clock
+    itself.
+    """
+
+    def __init__(self, stream_id: int, spec: StreamSpec, opened_ms: float,
+                 geometry: DiskGeometry, rng: Random) -> None:
+        self.stream_id = stream_id
+        self.spec = spec
+        self.opened_ms = opened_ms
+        self.closed_ms: float | None = None
+        self._geometry = geometry
+        self._rng = rng
+        self._index = 0
+        self._max_block = geometry.capacity_bytes // spec.block_bytes - 1
+        #: Requests issued so far (monotone; equals polled count).
+        self.issued = 0
+
+    @property
+    def period_ms(self) -> float:
+        return self.spec.period_ms
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the title has been fully issued or the session closed."""
+        if self.closed_ms is not None:
+            return True
+        return self.spec.blocks is not None and self._index >= self.spec.blocks
+
+    @property
+    def next_due_ms(self) -> float | None:
+        """Arrival instant of the next block, or None when exhausted."""
+        if self.exhausted:
+            return None
+        return self.opened_ms + self._index * self.period_ms
+
+    def close(self, now_ms: float) -> None:
+        self.closed_ms = now_ms
+
+    def issue(self, request_id: int) -> DiskRequest:
+        """Build the next due request (advances the session)."""
+        due = self.next_due_ms
+        if due is None:
+            raise RuntimeError(f"stream {self.stream_id} is exhausted")
+        spec = self.spec
+        block = spec.start_block + self._index
+        if spec.blocks is None:
+            block %= self._max_block + 1  # live stream: wrap the disk
+        else:
+            block = min(block, self._max_block)
+        lo, hi = spec.deadline_range_ms
+        request = DiskRequest(
+            request_id=request_id,
+            arrival_ms=due,
+            cylinder=self._geometry.block_cylinder(block, spec.block_bytes),
+            nbytes=spec.block_bytes,
+            deadline_ms=due + self._rng.uniform(lo, hi),
+            priorities=spec.priorities,
+            value=spec.value,
+            stream_id=self.stream_id,
+            is_write=spec.is_write,
+        )
+        self._index += 1
+        self.issued += 1
+        return request
+
+
+class SessionManager:
+    """Owns the live sessions and turns them into a single request feed.
+
+    The manager is shared by the online server and the offline adapter:
+    the server calls :meth:`poll` as simulated (or wall) time advances,
+    while :meth:`materialize` plays every session forward to a horizon
+    and returns the identical requests as one sorted batch.
+    """
+
+    def __init__(self, geometry: DiskGeometry, *, seed: int = 0) -> None:
+        self._geometry = geometry
+        self._seed = seed
+        self._next_stream_id = 0
+        self._next_request_id = 0
+        self.sessions: dict[int, StreamSession] = {}
+        #: Sessions that ended (kept for QoS reporting).
+        self.closed: dict[int, StreamSession] = {}
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        return self._geometry
+
+    @property
+    def active_streams(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def issued_requests(self) -> int:
+        return self._next_request_id
+
+    def open(self, spec: StreamSpec, now_ms: float) -> StreamSession:
+        """Create a session (admission already granted)."""
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        rng = derive(self._seed, "serve", stream_id)
+        session = StreamSession(stream_id, spec, now_ms, self._geometry, rng)
+        self.sessions[stream_id] = session
+        return session
+
+    def close(self, stream_id: int, now_ms: float) -> StreamSession:
+        """End a session; it stops issuing immediately."""
+        session = self.sessions.pop(stream_id)
+        session.close(now_ms)
+        self.closed[stream_id] = session
+        return session
+
+    def retire_exhausted(self, now_ms: float) -> list[StreamSession]:
+        """Move sessions whose titles finished into ``closed``."""
+        done = [s for s in self.sessions.values() if s.exhausted]
+        for session in done:
+            self.sessions.pop(session.stream_id)
+            session.closed_ms = now_ms
+            self.closed[session.stream_id] = session
+        return done
+
+    def next_due_ms(self) -> float | None:
+        """Earliest pending block instant across all sessions."""
+        dues = [s.next_due_ms for s in self.sessions.values()]
+        dues = [d for d in dues if d is not None]
+        return min(dues) if dues else None
+
+    def poll(self, now_ms: float, limit: int | None = None
+             ) -> list[DiskRequest]:
+        """Pop every request due at or before ``now_ms``.
+
+        Requests come out in global ``(due instant, stream id)`` order —
+        one at a time, so a session that fell several periods behind
+        still interleaves correctly — which makes request ids a pure
+        function of the session population, not of poll timing.
+        ``limit`` caps how many are taken (backpressure); the rest stay
+        due and will be returned by a later poll.
+        """
+        out: list[DiskRequest] = []
+        while limit is None or len(out) < limit:
+            best: StreamSession | None = None
+            best_key: tuple[float, int] | None = None
+            for session in self.sessions.values():
+                due = session.next_due_ms
+                if due is None or due > now_ms:
+                    continue
+                key = (due, session.stream_id)
+                if best_key is None or key < best_key:
+                    best, best_key = session, key
+            if best is None:
+                break
+            out.append(best.issue(self._next_request_id))
+            self._next_request_id += 1
+        return out
+
+    def materialize(self, until_ms: float) -> list[DiskRequest]:
+        """Issue every request due in ``[now, until_ms]`` as one batch.
+
+        Equivalent to polling at every due instant up to ``until_ms``;
+        used by the offline adapter to hand the identical workload to
+        :func:`repro.sim.run_simulation`.
+        """
+        return self.poll(until_ms)
+
+    def __iter__(self) -> Iterator[StreamSession]:
+        return iter(self.sessions.values())
+
+    def __len__(self) -> int:
+        return len(self.sessions)

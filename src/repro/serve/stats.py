@@ -1,0 +1,168 @@
+"""QoS observability: snapshots and periodic reporting.
+
+:class:`ServerStats` is an immutable snapshot of everything the server
+knows about its own quality of service — admission counters, dispatch /
+miss / shed totals, measured utilization, and per-stream QoS including
+*jitter* (standard deviation of the gaps between a stream's block
+completions; a glitch-free stream completes one block per period, so
+jitter ≈ 0 means smooth playback).  The counters are derived from the
+same :class:`~repro.sim.metrics.MetricsCollector` the offline simulator
+uses, so offline and online QoS numbers are directly comparable.
+
+:class:`QoSReporter` prints (or hands to any sink) one summary line per
+reporting interval, driven by the server's clock — the serving-layer
+equivalent of an operations dashboard tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class StreamQoS:
+    """Per-stream quality-of-service counters."""
+
+    stream_id: int
+    issued: int
+    completed: int
+    missed: int
+    #: Std-dev of inter-completion gaps, ms (0 = perfectly smooth).
+    jitter_ms: float
+    #: Mean inter-completion gap, ms (≈ the stream period when healthy).
+    mean_gap_ms: float
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.missed / self.completed if self.completed else 0.0
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One snapshot of global server QoS."""
+
+    time_ms: float
+    active_streams: int
+    admitted: int
+    downgraded: int
+    rejected: int
+    closed: int
+    dispatched: int
+    completed: int
+    missed: int
+    #: Requests evicted from the queue by load shedding.
+    preempted: int
+    #: Requests dropped already-expired at dispatch time.
+    expired: int
+    queue_length: int
+    mean_queue_length: float
+    reserved_utilization: float
+    measured_utilization: float
+    miss_ratio: float
+    mean_response_ms: float
+    streams: tuple[StreamQoS, ...] = ()
+
+    @property
+    def attempts(self) -> int:
+        """Stream-open attempts seen so far."""
+        return self.admitted + self.downgraded + self.rejected
+
+    @property
+    def accepted_streams(self) -> int:
+        """Streams granted service (full QoS or degraded)."""
+        return self.admitted + self.downgraded
+
+    def worst_stream(self) -> StreamQoS | None:
+        """The stream with the highest miss ratio, if any completed."""
+        candidates = [s for s in self.streams if s.completed]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda s: s.miss_ratio)
+
+    def summary_line(self) -> str:
+        """One-line operations summary (the reporter's line format)."""
+        return (
+            f"[{self.time_ms / 1e3:9.2f}s] "
+            f"streams={self.active_streams:3d} "
+            f"(admit={self.admitted} degrade={self.downgraded} "
+            f"reject={self.rejected}) queue={self.queue_length:3d} "
+            f"util={self.measured_utilization:5.1%} "
+            f"miss={self.miss_ratio:6.2%} shed={self.preempted}"
+        )
+
+
+class StreamQoSTracker:
+    """Mutable per-stream accumulator behind :class:`StreamQoS`."""
+
+    __slots__ = ("stream_id", "issued", "completed", "missed",
+                 "_gaps", "_last_completion_ms")
+
+    def __init__(self, stream_id: int) -> None:
+        self.stream_id = stream_id
+        self.issued = 0
+        self.completed = 0
+        self.missed = 0
+        self._gaps = RunningStats()
+        self._last_completion_ms: float | None = None
+
+    def on_issue(self) -> None:
+        self.issued += 1
+
+    def on_complete(self, completion_ms: float, missed: bool,
+                    *, served: bool = True) -> None:
+        """Record a block leaving the system.
+
+        ``served=False`` marks a drop (shed or expired): it counts
+        toward ``completed``/``missed`` but not toward the playback-gap
+        statistics, which only actual deliveries define.
+        """
+        self.completed += 1
+        if missed:
+            self.missed += 1
+        if served:
+            if self._last_completion_ms is not None:
+                self._gaps.add(completion_ms - self._last_completion_ms)
+            self._last_completion_ms = completion_ms
+
+    def snapshot(self) -> StreamQoS:
+        return StreamQoS(
+            stream_id=self.stream_id,
+            issued=self.issued,
+            completed=self.completed,
+            missed=self.missed,
+            jitter_ms=self._gaps.stddev,
+            mean_gap_ms=self._gaps.mean,
+        )
+
+
+class QoSReporter:
+    """Emits one :meth:`ServerStats.summary_line` per interval.
+
+    The server includes :attr:`next_due_ms` among its wake-up times and
+    calls :meth:`report` when the interval elapses; ``sink`` defaults
+    to ``print`` and may be any ``str -> None`` callable (logger,
+    file, test collector).
+    """
+
+    def __init__(self, interval_ms: float,
+                 sink: Callable[[str], None] = print,
+                 *, start_ms: float = 0.0) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.interval_ms = interval_ms
+        self.sink = sink
+        self.next_due_ms = start_ms + interval_ms
+        self.reports = 0
+
+    def due(self, now_ms: float) -> bool:
+        return now_ms >= self.next_due_ms
+
+    def report(self, stats: ServerStats) -> None:
+        """Emit one line and schedule the next tick."""
+        self.sink(stats.summary_line())
+        self.reports += 1
+        while self.next_due_ms <= stats.time_ms:
+            self.next_due_ms += self.interval_ms

@@ -1,0 +1,129 @@
+"""Structured per-decision trace events for the serving layer.
+
+Every decision the server takes — admitting or rejecting a stream,
+dispatching a request, shedding a victim under overload, recording a
+deadline miss — is appended to a :class:`TraceLog` as one
+:class:`TraceEvent`.  The log doubles as the observability substrate
+(counters per kind, bounded retention) and as the ground truth the
+tests reconcile against :class:`~repro.sim.metrics.MetricsCollector`.
+
+Event kinds (the trace-event schema):
+
+===========  =========================================================
+kind         meaning
+===========  =========================================================
+``admit``    a new stream was accepted at its requested QoS
+``downgrade``a new stream was accepted, but demoted to the lowest
+             priority level (graceful degradation)
+``reject``   a new stream was refused by the admission controller
+``close``    a stream ended (ran out of blocks, or was closed)
+``dispatch`` a request started service at the disk
+``complete`` a request finished service (on time or late)
+``preempt``  a queued request was evicted by load shedding before it
+             ever reached the disk
+``miss``     a request missed its deadline (completed late, or was
+             dropped already-expired at dispatch time)
+``report``   a periodic QoS report was emitted
+===========  =========================================================
+
+``dispatch``/``preempt``/``miss`` events are emitted exactly once per
+affected request; ``admit``/``downgrade``/``reject`` exactly once per
+stream-open attempt.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+#: The canonical event kinds, in rough lifecycle order.
+TRACE_KINDS = (
+    "admit",
+    "downgrade",
+    "reject",
+    "close",
+    "dispatch",
+    "complete",
+    "preempt",
+    "miss",
+    "report",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured serving-layer decision."""
+
+    time_ms: float
+    kind: str
+    stream_id: int = -1
+    request_id: int = -1
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(
+                f"unknown trace kind {self.kind!r}; "
+                f"expected one of {TRACE_KINDS}"
+            )
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dict form (CSV / JSON-lines export)."""
+        return {
+            "time_ms": self.time_ms,
+            "kind": self.kind,
+            "stream_id": self.stream_id,
+            "request_id": self.request_id,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class TraceLog:
+    """Bounded event log with per-kind counters.
+
+    ``capacity`` bounds retention (oldest events are discarded first) so
+    a long-lived server cannot grow without limit; the per-kind counters
+    keep counting across evictions, so QoS accounting stays exact even
+    when the event bodies have been dropped.
+    """
+
+    capacity: int | None = None
+    _events: deque = field(init=False, repr=False)
+    _counts: Counter = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None)")
+        self._events = deque(maxlen=self.capacity)
+        self._counts = Counter()
+
+    def record(self, time_ms: float, kind: str, *, stream_id: int = -1,
+               request_id: int = -1, detail: str = "") -> TraceEvent:
+        """Append one event and bump its kind counter."""
+        event = TraceEvent(time_ms, kind, stream_id, request_id, detail)
+        self._events.append(event)
+        self._counts[kind] += 1
+        return event
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Retained events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Lifetime number of events of ``kind`` (eviction-proof)."""
+        return self._counts[kind]
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime counters for every kind seen so far."""
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        """Number of *retained* events (≤ lifetime total when bounded)."""
+        return len(self._events)

@@ -32,11 +32,11 @@ __all__ = [
     "TimelineEntry",
     "constant_service",
     "derive",
+    "exponential_interarrivals",
     "format_comparison",
     "format_result",
-    "miss_histogram",
-    "exponential_interarrivals",
     "linear_weights",
+    "miss_histogram",
     "priority_scaled_service",
     "run_array_simulation",
     "run_simulation",

@@ -1,0 +1,143 @@
+"""Admission control: deterministic, monotone, and priority-correct."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionDecision,
+    AlwaysAdmit,
+    LoadSnapshot,
+    MeasurementAdmission,
+    ReservationAdmission,
+    make_admission,
+)
+from repro.serve.session import StreamSpec
+
+
+def spec(rate=0.375, **kwargs):
+    kwargs.setdefault("priorities", (2,))
+    return StreamSpec(rate_mbps=rate, **kwargs)
+
+
+def saturation_point(policy, rate, *, max_users=500):
+    """Streams admitted (at any QoS) before the first rejection."""
+    reserved = 0.0
+    for user in range(max_users):
+        result = policy.decide(
+            spec(rate), LoadSnapshot(active_streams=user,
+                                     reserved_utilization=reserved)
+        )
+        if not result.admitted:
+            return user
+        reserved += result.utilization
+    return max_users
+
+
+class TestReservationAdmission:
+    def test_saturation_is_deterministic(self, disk):
+        policy = ReservationAdmission(disk)
+        first = saturation_point(policy, 0.375)
+        again = saturation_point(ReservationAdmission(disk), 0.375)
+        assert first == again
+        # Section 6 operating point: tens of users per disk, not 5 and
+        # not 500.
+        assert 40 <= first <= 120
+
+    def test_saturation_monotone_in_stream_rate(self, disk):
+        rates = (0.2, 0.375, 0.75, 1.5, 3.0)
+        points = [
+            saturation_point(ReservationAdmission(disk), rate)
+            for rate in rates
+        ]
+        assert points == sorted(points, reverse=True)
+        assert points[-1] < points[0]
+
+    def test_downgrade_band_between_target_and_limit(self, disk):
+        policy = ReservationAdmission(disk, target_utilization=0.5,
+                                      downgrade_limit=0.8,
+                                      priority_levels=8)
+        share = policy.reservation_for(spec())
+        in_band = LoadSnapshot(reserved_utilization=0.5)
+        result = policy.decide(spec(), in_band)
+        assert result.decision is AdmissionDecision.DOWNGRADE
+        assert result.priorities == (7,)  # demoted to the lowest level
+        assert result.utilization == pytest.approx(share)
+
+        beyond = LoadSnapshot(reserved_utilization=0.8)
+        rejected = policy.decide(spec(), beyond)
+        assert rejected.decision is AdmissionDecision.REJECT
+        assert rejected.priorities is None
+        assert rejected.utilization == 0.0
+
+    def test_budget_components(self, disk):
+        policy = ReservationAdmission(disk, seek_budget_ms=2.5)
+        budget = policy.service_budget_ms(spec())
+        latency = disk.rotation.average_latency_ms
+        transfer = disk.transfer_time_ms(spec().block_bytes,
+                                         policy.transfer_cylinder)
+        assert budget == pytest.approx(2.5 + latency + transfer)
+        assert policy.reservation_for(spec()) == pytest.approx(
+            budget / spec().period_ms
+        )
+
+    def test_worst_case_budget_admits_fewer(self, disk):
+        soft = ReservationAdmission(disk)
+        hard = ReservationAdmission(
+            disk, transfer_cylinder=disk.geometry.cylinders - 1
+        )
+        assert saturation_point(hard, 0.375) < \
+            saturation_point(soft, 0.375)
+
+    def test_validation(self, disk):
+        with pytest.raises(ValueError):
+            ReservationAdmission(disk, target_utilization=0.9,
+                                 downgrade_limit=0.8)
+
+
+class TestMeasurementAdmission:
+    def test_bootstrap_then_thresholds(self):
+        policy = MeasurementAdmission(max_utilization=0.9,
+                                      max_miss_ratio=0.05,
+                                      min_streams=2)
+        cold = LoadSnapshot(active_streams=0)
+        assert policy.decide(spec(), cold).admitted
+
+        healthy = LoadSnapshot(active_streams=10,
+                               measured_utilization=0.5,
+                               miss_ratio=0.01)
+        assert policy.decide(spec(), healthy).admitted
+
+        hot = LoadSnapshot(active_streams=10,
+                           measured_utilization=0.95)
+        assert policy.decide(spec(), hot).decision is \
+            AdmissionDecision.REJECT
+
+        glitchy = LoadSnapshot(active_streams=10,
+                               measured_utilization=0.5,
+                               miss_ratio=0.2)
+        assert policy.decide(spec(), glitchy).decision is \
+            AdmissionDecision.REJECT
+
+
+class TestAlwaysAdmit:
+    def test_never_rejects(self):
+        policy = AlwaysAdmit()
+        load = LoadSnapshot(active_streams=10_000,
+                            measured_utilization=5.0, miss_ratio=1.0)
+        result = policy.decide(spec(), load)
+        assert result.decision is AdmissionDecision.ADMIT
+        assert result.priorities == spec().priorities
+
+
+class TestRegistry:
+    def test_make_admission(self, disk):
+        assert isinstance(make_admission("reservation", disk),
+                          ReservationAdmission)
+        assert isinstance(make_admission("measurement"),
+                          MeasurementAdmission)
+        assert isinstance(make_admission("always"), AlwaysAdmit)
+        with pytest.raises(ValueError):
+            make_admission("reservation")  # needs a disk
+        with pytest.raises(KeyError):
+            make_admission("nope")
