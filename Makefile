@@ -6,10 +6,15 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench experiments experiments-quick serve-demo coverage loc
+.PHONY: test test-quick bench experiments experiments-quick serve-demo \
+	faults-demo coverage loc
 
 test:
 	$(PYTHONPATH_SRC) pytest tests/
+
+# The quick CI lane: skips scenarios marked @pytest.mark.slow.
+test-quick:
+	$(PYTHONPATH_SRC) pytest tests/ -m "not slow"
 
 bench:
 	$(PYTHONPATH_SRC) pytest benchmarks/ --benchmark-only
@@ -23,6 +28,13 @@ experiments-quick:
 serve-demo:
 	$(PYTHONPATH_SRC) python -m repro.experiments serve --quick \
 		--report-every 10000
+
+faults-demo:
+	$(PYTHONPATH_SRC) python -m repro.experiments faults --quick
+
+# Needs pytest-cov (pip install -e .[test]).
+coverage:
+	$(PYTHONPATH_SRC) pytest tests/ --cov=repro --cov-fail-under=85
 
 loc:
 	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

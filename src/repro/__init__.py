@@ -8,7 +8,10 @@ workload generators, all baseline schedulers, and one experiment module
 per figure and table.  On top of the offline substrate,
 :mod:`repro.serve` adds the online serving layer: an
 admission-controlled, clock-driven streaming server with QoS
-observability (the front-end the paper's PanaViss setting presumes).
+observability (the front-end the paper's PanaViss setting presumes),
+and :mod:`repro.faults` adds deterministic fault injection (latency
+spikes, transient errors, disk failures, thermal slowdown) so the
+schedulers can be compared under identical hardware trouble.
 
 Quick start::
 
@@ -46,18 +49,37 @@ from .serve import (
 )
 from .sim import DiskService, SimulationResult, run_simulation
 
+# Imported after .sim: faults.injector needs repro.sim.service, while
+# repro.sim.array needs repro.faults — this order lets both resolve.
+from .faults import (
+    DiskFailure,
+    FaultInjector,
+    FaultPlan,
+    LatencySpike,
+    RetryPolicy,
+    ThermalRamp,
+    TransientErrors,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AdmissionDecision",
     "CascadedSFCConfig",
     "CascadedSFCScheduler",
+    "DiskFailure",
     "DiskModel",
     "DiskRequest",
     "DiskService",
     "Encapsulator",
     "EncodeContext",
+    "FaultInjector",
+    "FaultPlan",
+    "LatencySpike",
+    "RetryPolicy",
     "Scheduler",
+    "ThermalRamp",
+    "TransientErrors",
     "ServerConfig",
     "ServerStats",
     "SessionManager",

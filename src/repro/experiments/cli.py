@@ -126,6 +126,33 @@ def run_serve(args) -> int:
     return 0
 
 
+def run_faults(args) -> int:
+    """Schedulers under one fault schedule (`faults` subcommand)."""
+    from . import faults_scenario
+
+    spec = faults_scenario.FaultsSpec(seed=args.seed)
+    if args.quick:
+        spec = spec.quick()
+    started = time.perf_counter()
+    print("=== faults: schedulers under an identical fault schedule "
+          f"(seed={spec.seed})")
+    result = faults_scenario.run(spec)
+    print(result.summary.render())
+    print(f"deterministic replay: {result.deterministic}")
+    cascaded = result.outcome("cascaded-sfc")
+    beaten = [
+        out.scheduler for out in result.outcomes
+        if out.scheduler != "cascaded-sfc"
+        and cascaded.window_miss_ratio < out.window_miss_ratio
+    ]
+    print("degraded-window winner: cascaded-sfc beats "
+          f"{', '.join(beaten) if beaten else 'nothing'}")
+    if args.out is not None:
+        print(f"wrote {faults_scenario.write_faults_csv(result, args.out)}")
+    print(f"--- faults done in {time.perf_counter() - started:.1f}s")
+    return 0 if (result.deterministic and beaten) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -157,16 +184,39 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the ramp decisions CSV to PATH")
     server.add_argument("--csv", metavar="DIR", default=None,
                         help="also export tables as CSV into DIR")
+    faults = sub.add_parser(
+        "faults",
+        help="schedulers under an identical fault schedule (repro.faults)",
+    )
+    faults.add_argument("--quick", action="store_true",
+                        help="benchmark-sized run (same fault acts)")
+    faults.add_argument("--seed", type=int, default=2004,
+                        help="fault-schedule seed")
+    faults.add_argument("--out", metavar="PATH", default=None,
+                        help="comparison CSV (default: "
+                             "results/faults_compare.csv for full runs, "
+                             "skipped under --quick; use '' to skip)")
     args = parser.parse_args(argv)
+    if getattr(args, "out", None) == "":
+        args.out = None
+    elif (args.command == "faults" and args.out is None
+            and not args.quick):
+        # Only full-spec runs refresh the recorded comparison; the
+        # quick demo must not clobber it with benchmark-sized numbers.
+        args.out = "results/faults_compare.csv"
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:8s} {DESCRIPTIONS[name]}")
         print("serve    online admission-controlled streaming ramp")
+        print("faults   schedulers under an identical fault schedule")
         return 0
 
     if args.command == "serve":
         return run_serve(args)
+
+    if args.command == "faults":
+        return run_faults(args)
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and graceful degradation.
+
+The paper's claim is *scalable QoS*: one scalar characterization value
+keeps ordering requests sensibly as pressure rises.  This package
+supplies the pressure.  A :class:`FaultPlan` is a seeded schedule of
+disk misbehavior (latency spikes, transient I/O errors, whole-disk
+failure windows, thermal slowdown ramps) that plugs identically into
+
+* the offline simulator — wrap any service in :class:`FaultyService`;
+* the RAID-5 array replay — pass ``fault_plan=`` to
+  :func:`repro.sim.array.run_array_simulation` for degraded reads,
+  logical-request retry and hot-spare rebuild traffic;
+* the online server — pass ``faults=FaultInjector(plan)`` to
+  :class:`repro.serve.StreamingServer` for bounded retry+backoff,
+  fault trace events and degrade-mode stream shedding.
+
+Because every roll is keyed by ``(seed, disk, request_id, attempt)``,
+identical seeds give identical fault schedules — the precondition for
+comparing schedulers under degraded conditions at all.
+"""
+
+from .injector import (
+    FaultCounters,
+    FaultInjector,
+    FaultyService,
+    RetryPolicy,
+)
+from .plan import (
+    DiskFailure,
+    Fault,
+    FaultPlan,
+    LatencySpike,
+    ThermalRamp,
+    TransientErrors,
+)
+
+__all__ = [
+    "DiskFailure",
+    "Fault",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyService",
+    "LatencySpike",
+    "RetryPolicy",
+    "ThermalRamp",
+    "TransientErrors",
+]

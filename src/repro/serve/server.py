@@ -21,10 +21,12 @@ numbers reconcile exactly with the offline simulator's.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 
 from repro.core.request import DiskRequest
+from repro.faults import FaultInjector
 from repro.schedulers.base import Scheduler
 from repro.sim.metrics import MetricsCollector
 from repro.sim.service import ServiceModel
@@ -57,6 +59,17 @@ class ServerConfig:
     priority_levels: int = 8
     #: Retained trace events (None = unbounded).
     trace_capacity: int | None = None
+    # -- graceful degradation under fault pressure (only active when
+    # the server is constructed with a FaultInjector) ------------------
+    #: Sliding window over which fault events count as "pressure".
+    degrade_window_ms: float = 5_000.0
+    #: Fault events inside the window that trip degraded mode.
+    degrade_after: int = 8
+    #: ``"shed"`` closes the lowest-SFC-priority stream on entry;
+    #: ``"downgrade"`` demotes it to the lowest priority level instead.
+    degrade_policy: str = "shed"
+    #: Streams shed/downgraded per degraded-mode entry.
+    degrade_victims: int = 1
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -65,6 +78,16 @@ class ServerConfig:
             raise ValueError(
                 "shed_policy must be 'lowest-priority' or 'none'"
             )
+        if self.degrade_window_ms <= 0:
+            raise ValueError("degrade_window_ms must be positive")
+        if self.degrade_after < 1:
+            raise ValueError("degrade_after must be >= 1")
+        if self.degrade_policy not in ("shed", "downgrade"):
+            raise ValueError(
+                "degrade_policy must be 'shed' or 'downgrade'"
+            )
+        if self.degrade_victims < 1:
+            raise ValueError("degrade_victims must be >= 1")
 
 
 class StreamingServer:
@@ -79,11 +102,13 @@ class StreamingServer:
                  manager: SessionManager, admission: AdmissionPolicy,
                  *, clock: Clock | None = None,
                  config: ServerConfig | None = None,
-                 reporter: QoSReporter | None = None) -> None:
+                 reporter: QoSReporter | None = None,
+                 faults: FaultInjector | None = None) -> None:
         self.scheduler = scheduler
         self.service = service
         self.manager = manager
         self.admission = admission
+        self.faults = faults
         self.clock = clock if clock is not None else VirtualClock()
         self.config = config or ServerConfig()
         self.reporter = reporter
@@ -102,8 +127,21 @@ class StreamingServer:
         self.expired = 0
         #: In-flight request and its completion instant, if busy.
         self._busy: tuple[DiskRequest, float] | None = None
+        #: True while the in-flight "service" is an aborting fault.
+        self._busy_faulted = False
         #: Ids counted as shed but still inside the scheduler queue.
         self._shed_pending: set[int] = set()
+        # Fault-injection state.
+        #: Service attempts per request id (only under fault injection).
+        self._attempts: dict[int, int] = {}
+        #: (due_ms, request_id, request) heap of pending retries.
+        self._retry_due: list[tuple[float, int, DiskRequest]] = []
+        #: Fault instants inside the sliding pressure window.
+        self._fault_times: list[float] = []
+        self.fault_failures = 0
+        self.degrade_entries = 0
+        self.degraded_streams = 0
+        self.degraded = False
         #: Per-admitted-stream reserved utilization shares.
         self._reservations: dict[int, float] = {}
         self._qos: dict[int, StreamQoSTracker] = {}
@@ -213,6 +251,7 @@ class StreamingServer:
                     "close it before quiescing"
                 )
         while (self._busy is not None or self.queue_length() > 0
+               or self._retry_due
                or self.manager.next_due_ms() is not None):
             t = self._next_event_ms(math.inf)
             if t is None:
@@ -228,6 +267,14 @@ class StreamingServer:
             candidates.append(self._busy[1])
         if self.reporter is not None:
             candidates.append(self.reporter.next_due_ms)
+        if self._retry_due:
+            candidates.append(max(self._retry_due[0][0], now))
+        if self.degraded and self._fault_times:
+            # The instant the oldest fault ages out of the pressure
+            # window (a possible degrade_exit).
+            candidates.append(
+                self._fault_times[0] + self.config.degrade_window_ms
+            )
         due = self.manager.next_due_ms()
         if due is not None:
             if due > now:
@@ -249,6 +296,8 @@ class StreamingServer:
         """Handle everything actionable at instant ``now``."""
         if self._busy is not None and self._busy[1] <= now:
             self._complete()
+        self._requeue_retries(now)
+        self._update_degrade(now)
         self._admit_due(now)
         self._dispatch(now)
         for session in self.manager.retire_exhausted(now):
@@ -298,6 +347,117 @@ class StreamingServer:
                 detail=f"shed level={max(victim.priorities, default=0)}",
             )
 
+    # -- fault injection & graceful degradation ---------------------------
+
+    def _fault_attempt(self, request: DiskRequest, now: float) -> str:
+        """Roll this dispatch against the fault plan.
+
+        Returns ``"ok"`` (serve normally), ``"abort"`` (the attempt
+        failed; the disk is busy aborting and the request will retry
+        after backoff), or ``"gave_up"`` (retry budget exhausted; the
+        request was dropped).
+        """
+        assert self.faults is not None
+        attempt = self._attempts.get(request.request_id, 0) + 1
+        self._attempts[request.request_id] = attempt
+        if not self.faults.attempt_fails(0, request.request_id,
+                                         attempt, now):
+            return "ok"
+        self._note_fault(now)
+        cause = ("disk-failure" if self.faults.is_failed(0, now)
+                 else "io-error")
+        self.trace.record(now, "fault_inject",
+                          stream_id=request.stream_id,
+                          request_id=request.request_id,
+                          detail=f"{cause} attempt={attempt}")
+        if self.faults.exhausted(attempt):
+            self.faults.note_gave_up()
+            self.fault_failures += 1
+            self._attempts.pop(request.request_id, None)
+            self.metrics.on_complete(request, now, dropped=True)
+            self.scheduler.on_served(request, now)
+            tracker = self._qos.get(request.stream_id)
+            if tracker is not None:
+                tracker.on_complete(now, missed=True, served=False)
+            self.trace.record(now, "miss",
+                              stream_id=request.stream_id,
+                              request_id=request.request_id,
+                              detail="fault")
+            return "gave_up"
+        # The aborted command still occupies the disk briefly; the
+        # request itself re-enters the queue after its backoff.
+        self._busy = (request, now + self.faults.policy.abort_ms)
+        self._busy_faulted = True
+        return "abort"
+
+    def _requeue_retries(self, now: float) -> None:
+        """Re-submit requests whose retry backoff has elapsed."""
+        while self._retry_due and self._retry_due[0][0] <= now:
+            _due, _rid, request = heapq.heappop(self._retry_due)
+            assert self.faults is not None
+            self.faults.note_retry()
+            self.scheduler.submit(request, now,
+                                  self.service.head_cylinder)
+            attempts = self._attempts.get(request.request_id, 0)
+            self.trace.record(now, "retry",
+                              stream_id=request.stream_id,
+                              request_id=request.request_id,
+                              detail=f"attempt={attempts + 1}")
+
+    def _note_fault(self, now: float) -> None:
+        self._fault_times.append(now)
+        self._update_degrade(now)
+
+    def _update_degrade(self, now: float) -> None:
+        """Maintain the sliding fault-pressure window and mode flips."""
+        if self.faults is None:
+            return
+        config = self.config
+        times = self._fault_times
+        # Same arithmetic as the _next_event_ms wake-up candidate
+        # (times[0] + window), so the scheduled exit instant is
+        # guaranteed to actually age the fault out.
+        while times and times[0] + config.degrade_window_ms <= now:
+            times.pop(0)
+        if not self.degraded and len(times) >= config.degrade_after:
+            self.degraded = True
+            self.degrade_entries += 1
+            self.trace.record(
+                now, "degrade_enter",
+                detail=(f"faults={len(times)}"
+                        f"/{config.degrade_window_ms:.0f}ms"),
+            )
+            self._degrade_relief(now)
+        elif self.degraded and not times:
+            self.degraded = False
+            self.trace.record(now, "degrade_exit")
+
+    def _degrade_relief(self, now: float) -> None:
+        """Shed or downgrade the lowest-SFC-priority active streams."""
+        lowest_of = lambda spec: tuple(  # noqa: E731
+            self.config.priority_levels - 1 for _ in spec.priorities
+        )
+        for _ in range(self.config.degrade_victims):
+            victims = [
+                s for s in self.manager
+                if (self.config.degrade_policy == "shed"
+                    or s.spec.priorities != lowest_of(s.spec))
+            ]
+            if not victims:
+                return
+            victim = max(victims,
+                         key=lambda s: (s.spec.priorities, s.stream_id))
+            if self.config.degrade_policy == "shed":
+                self.close_stream(victim.stream_id)
+            else:
+                victim.spec = victim.spec.with_priorities(
+                    lowest_of(victim.spec)
+                )
+                self.trace.record(now, "downgrade",
+                                  stream_id=victim.stream_id,
+                                  detail="degrade-mode")
+            self.degraded_streams += 1
+
     def _dispatch(self, now: float) -> None:
         """Start serving the scheduler's next pick if the disk is free."""
         while self._busy is None:
@@ -324,12 +484,25 @@ class StreamingServer:
                                   request_id=request.request_id,
                                   detail="expired")
                 continue
+            if self.faults is not None:
+                outcome = self._fault_attempt(request, now)
+                if outcome == "gave_up":
+                    continue
+                if outcome == "abort":
+                    return
             self.metrics.on_dispatch(request, self.scheduler.pending())
             record = self.service.serve(request, now)
+            total_ms = record.total_ms
+            if self.faults is not None:
+                self._attempts.pop(request.request_id, None)
+                total_ms += self.faults.service_penalty_ms(
+                    0, now, record.total_ms
+                )
             self.metrics.on_service(record.seek_ms, record.latency_ms,
-                                    record.transfer_ms)
+                                    total_ms - record.total_ms
+                                    + record.transfer_ms)
             self.dispatched += 1
-            self._busy = (request, now + record.total_ms)
+            self._busy = (request, now + total_ms)
             self.trace.record(now, "dispatch",
                               stream_id=request.stream_id,
                               request_id=request.request_id)
@@ -339,6 +512,17 @@ class StreamingServer:
         assert self._busy is not None
         request, completion = self._busy
         self._busy = None
+        if self._busy_faulted:
+            # A failed attempt finished aborting: pay the backoff,
+            # then the request re-enters the scheduler queue.
+            self._busy_faulted = False
+            assert self.faults is not None
+            self.scheduler.on_served(request, completion)
+            attempt = self._attempts[request.request_id]
+            due = completion + self.faults.policy.backoff_for(attempt)
+            heapq.heappush(self._retry_due,
+                           (due, request.request_id, request))
+            return
         self.metrics.on_complete(request, completion)
         self.scheduler.on_served(request, completion)
         missed = completion > request.deadline_ms
@@ -380,4 +564,12 @@ class StreamingServer:
             streams=tuple(
                 self._qos[sid].snapshot() for sid in sorted(self._qos)
             ),
+            faults_injected=(self.faults.counters.injected
+                             if self.faults else 0),
+            fault_retries=(self.faults.counters.retries
+                           if self.faults else 0),
+            fault_failures=self.fault_failures,
+            degrade_entries=self.degrade_entries,
+            degraded_streams=self.degraded_streams,
+            degraded=self.degraded,
         )

@@ -64,6 +64,20 @@ class ServerStats:
     miss_ratio: float
     mean_response_ms: float
     streams: tuple[StreamQoS, ...] = ()
+    # -- fault-injection counters (0 unless the server runs with a
+    # FaultInjector; see repro.faults) ---------------------------------
+    #: Failed service attempts (transient errors / failed-disk window).
+    faults_injected: int = 0
+    #: Requests re-queued after a failed attempt's backoff.
+    fault_retries: int = 0
+    #: Requests abandoned after exhausting their retry budget.
+    fault_failures: int = 0
+    #: Times the server entered degraded mode.
+    degrade_entries: int = 0
+    #: Streams shed or downgraded by degraded-mode pressure relief.
+    degraded_streams: int = 0
+    #: True while the server is currently in degraded mode.
+    degraded: bool = False
 
     @property
     def attempts(self) -> int:

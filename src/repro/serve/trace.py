@@ -26,9 +26,27 @@ kind         meaning
 ``report``   a periodic QoS report was emitted
 ===========  =========================================================
 
+Fault-injection kinds (emitted only when the server runs with a
+:class:`~repro.faults.FaultInjector`):
+
+================  ====================================================
+kind              meaning
+================  ====================================================
+``fault_inject``  a service attempt failed (transient I/O error or a
+                  whole-disk failure window); detail carries the cause
+                  and the attempt number
+``retry``         a previously failed request re-entered the scheduler
+                  queue after its backoff elapsed
+``degrade_enter`` sustained fault pressure pushed the server into
+                  degraded mode (lowest-SFC-priority streams are shed
+                  or downgraded)
+``degrade_exit``  fault pressure subsided; normal service resumed
+================  ====================================================
+
 ``dispatch``/``preempt``/``miss`` events are emitted exactly once per
-affected request; ``admit``/``downgrade``/``reject`` exactly once per
-stream-open attempt.
+affected request (per attempt, for ``dispatch`` under retries);
+``admit``/``downgrade``/``reject`` exactly once per stream-open
+attempt.
 """
 
 from __future__ import annotations
@@ -48,6 +66,10 @@ TRACE_KINDS = (
     "preempt",
     "miss",
     "report",
+    "fault_inject",
+    "retry",
+    "degrade_enter",
+    "degrade_exit",
 )
 
 

@@ -2,19 +2,36 @@
 
 Two invocations of the same quick spec must produce byte-identical
 tables -- the property that makes EXPERIMENTS.md reproducible and the
-benchmark assertions stable.
+benchmark assertions stable.  The serving layer gets the same
+treatment at event granularity: two identical-seed ramps must replay a
+byte-identical :class:`~repro.serve.TraceLog`, and a small pinned
+golden trace (``tests/golden/serve_trace.txt``) guards against
+accidental behavior drift between sessions.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS
 from repro.experiments.export import table_to_csv
 from repro.experiments.cli import _tables_of
+from repro.experiments.serve_demo import ServeSpec, build_server, ramp_events
+from repro.experiments.faults_scenario import serialize_trace
+from repro.serve import run_ramp_online
 
 # fig10/fig11 are the slow ones; two runs each still fit comfortably.
 FAST = ("table1", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9")
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small, fixed ramp behind the pinned golden trace. Do not change
+#: without regenerating the golden file (see regenerate_golden()).
+GOLDEN_SPEC = replace(ServeSpec(), max_users=10, user_interval_ms=400.0,
+                      tail_ms=3_000.0, seed=77)
 
 
 def render_all(name):
@@ -25,3 +42,40 @@ def render_all(name):
 @pytest.mark.parametrize("name", FAST)
 def test_experiment_is_deterministic(name):
     assert render_all(name) == render_all(name)
+
+
+def serve_trace(spec: ServeSpec) -> bytes:
+    server = build_server(spec, sink=lambda line: None)
+    run_ramp_online(server, ramp_events(spec), spec.until_ms)
+    return serialize_trace(server)
+
+
+def test_serve_trace_is_deterministic():
+    """Identical seeds -> byte-identical trace event sequences."""
+    spec = GOLDEN_SPEC.quick()
+    assert serve_trace(spec) == serve_trace(spec)
+
+
+def test_serve_trace_differs_across_seeds():
+    """The trace actually depends on the seed (no vacuous pinning)."""
+    spec = GOLDEN_SPEC.quick()
+    assert serve_trace(spec) != serve_trace(replace(spec, seed=78))
+
+
+def test_serve_trace_matches_golden():
+    """The pinned golden trace replays byte for byte."""
+    golden = (GOLDEN_DIR / "serve_trace.txt").read_bytes()
+    assert serve_trace(GOLDEN_SPEC) == golden.rstrip(b"\n")
+
+
+def regenerate_golden() -> None:
+    """Rewrite the golden file after an *intentional* behavior change.
+
+    Run ``python -c "import sys; sys.path.insert(0, 'src');
+    sys.path.insert(0, '.'); from tests.test_determinism_golden import
+    regenerate_golden; regenerate_golden()"`` from the repo root.
+    """
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    path = GOLDEN_DIR / "serve_trace.txt"
+    path.write_bytes(serve_trace(GOLDEN_SPEC) + b"\n")
+    print(f"wrote {path}")

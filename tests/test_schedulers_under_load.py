@@ -8,9 +8,20 @@ simulator on a common workload.
 
 from __future__ import annotations
 
+from collections import Counter
+
 import pytest
 
+from repro.core.config import CascadedSFCConfig
+from repro.core.scheduler import CascadedSFCScheduler
 from repro.disk.disk import make_xp32150_disk
+from repro.faults import (
+    DiskFailure,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    TransientErrors,
+)
 from repro.schedulers import (
     BatchedCScanScheduler,
     CScanScheduler,
@@ -20,6 +31,13 @@ from repro.schedulers import (
     ScanEDFScheduler,
     ScanScheduler,
     SSTFScheduler,
+)
+from repro.serve import (
+    SessionManager,
+    StreamSpec,
+    StreamingServer,
+    VirtualClock,
+    make_admission,
 )
 from repro.sim.server import run_simulation
 from repro.sim.service import DiskService
@@ -103,6 +121,115 @@ class TestPriorityAwareness:
         # lower ones under a strict-priority discipline.
         ratios = multi.metrics.miss_ratio_by_level(0)
         assert ratios[0] <= ratios[7]
+
+
+MAX_ATTEMPTS = 3
+
+
+def serve_under_faults(make_scheduler):
+    """Run a small stream population through a fault-ridden server."""
+    disk = make_xp32150_disk()
+    disk.reset(0)
+    plan = FaultPlan([
+        TransientErrors(disk=0, start_ms=0.0, end_ms=20_000.0,
+                        probability=0.08),
+        DiskFailure(disk=0, start_ms=4_000.0, end_ms=4_600.0),
+    ], seed=11)
+    server = StreamingServer(
+        make_scheduler(),
+        DiskService(disk),
+        SessionManager(disk.geometry, seed=11),
+        make_admission("always"),
+        clock=VirtualClock(),
+        faults=FaultInjector(plan, policy=RetryPolicy(
+            max_attempts=MAX_ATTEMPTS, abort_ms=2.0, backoff_ms=150.0)),
+    )
+    for level in range(8):
+        server.open_stream(StreamSpec(
+            rate_mbps=0.375, priorities=(level,),
+            start_block=1_000 * level, blocks=None,
+        ))
+    server.run_until(12_000.0)
+    return server
+
+
+SERVE_SCHEDULERS = {
+    "cascaded-sfc": lambda: CascadedSFCScheduler(
+        CascadedSFCConfig(priority_dims=1, priority_levels=8,
+                          sfc1="sweep", deadline_horizon_ms=1500.0,
+                          r_partitions=3),
+        cylinders=CYLINDERS,
+    ),
+    "edf": EDFScheduler,
+    "scan-edf": lambda: ScanEDFScheduler(CYLINDERS, batch_ms=100.0),
+}
+
+
+@pytest.mark.slow
+class TestFaultLoadInvariants:
+    """Per-request lifecycle invariants read off the server's trace.
+
+    Fault retries genuinely re-insert requests into the scheduler
+    queue, so these hold the dispatch path to its contract while that
+    happens: no double dispatch, no resurrection after completion, and
+    a bounded retry ledger.
+    """
+
+    @pytest.fixture(scope="class", params=sorted(SERVE_SCHEDULERS))
+    def server(self, request):
+        return serve_under_faults(SERVE_SCHEDULERS[request.param])
+
+    def test_workload_hit_the_fault_path(self, server):
+        assert server.faults.counters.injected > 0
+        assert server.faults.counters.retries > 0
+        assert server.stats().completed > 50
+
+    def test_no_request_dispatched_twice(self, server):
+        dispatches = Counter(
+            e.request_id for e in server.trace.events("dispatch"))
+        assert dispatches and max(dispatches.values()) == 1
+
+    def test_no_completed_request_requeued(self, server):
+        """After a request completes (or is dropped), it never
+        reappears in a dispatch/retry/fault event."""
+        finished: set[int] = set()
+        for event in server.trace:
+            if event.request_id < 0:
+                continue
+            if event.kind in ("dispatch", "retry", "fault_inject"):
+                assert event.request_id not in finished, event
+            elif event.kind in ("complete", "miss"):
+                finished.add(event.request_id)
+
+    def test_retry_ledger_is_bounded(self, server):
+        """Per request: attempts <= max_attempts, and the trace agrees
+        with the injector's counters."""
+        fault_events = Counter(
+            e.request_id for e in server.trace.events("fault_inject"))
+        retry_events = Counter(
+            e.request_id for e in server.trace.events("retry"))
+        assert max(fault_events.values()) <= MAX_ATTEMPTS
+        for request_id, retries in retry_events.items():
+            assert retries <= fault_events[request_id]
+            assert retries <= MAX_ATTEMPTS - 1
+        counters = server.faults.counters
+        assert sum(fault_events.values()) == counters.injected
+        assert sum(retry_events.values()) == counters.retries
+        # A request that gave up shows exactly max_attempts failures.
+        gave_up = [e.request_id for e in server.trace.events("miss")
+                   if e.detail == "fault"]
+        for request_id in gave_up:
+            assert fault_events[request_id] == MAX_ATTEMPTS
+        assert len(gave_up) == counters.gave_up
+
+    def test_every_dispatch_completes_exactly_once(self, server):
+        dispatched = {e.request_id
+                      for e in server.trace.events("dispatch")}
+        completes = Counter(
+            e.request_id for e in server.trace.events("complete"))
+        # The one possibly-unfinished request is the in-flight one.
+        assert len(dispatched) - sum(completes.values()) <= 1
+        assert all(n == 1 for n in completes.values())
 
 
 class TestWorkConservation:

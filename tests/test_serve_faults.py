@@ -1,0 +1,174 @@
+"""Serving-layer fault injection: retries, degraded mode, shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.disk import make_xp32150_disk
+from repro.faults import DiskFailure, FaultInjector, FaultPlan, RetryPolicy
+from repro.schedulers.edf import EDFScheduler
+from repro.serve import (
+    ServerConfig,
+    SessionManager,
+    StreamSpec,
+    StreamingServer,
+    VirtualClock,
+    make_admission,
+)
+from repro.sim.service import DiskService
+
+
+def make_server(plan, *, policy=None, config=None):
+    disk = make_xp32150_disk()
+    disk.reset(0)
+    return StreamingServer(
+        EDFScheduler(),
+        DiskService(disk),
+        SessionManager(disk.geometry, seed=5),
+        make_admission("always"),
+        clock=VirtualClock(),
+        config=config,
+        faults=FaultInjector(plan, policy=policy or RetryPolicy(
+            max_attempts=3, abort_ms=2.0, backoff_ms=100.0)),
+    )
+
+
+def open_streams(server, levels=(0, 2, 4, 6, 7)):
+    sessions = []
+    for level in levels:
+        _result, session = server.open_stream(StreamSpec(
+            rate_mbps=0.375, priorities=(level,),
+            start_block=2_000 * level, blocks=None,
+        ))
+        sessions.append(session)
+    return sessions
+
+
+OUTAGE = FaultPlan([DiskFailure(disk=0, start_ms=1_000.0,
+                                end_ms=1_600.0)])
+
+
+class TestRetryFlow:
+    def test_faults_produce_retries_then_completions(self):
+        server = make_server(OUTAGE)
+        open_streams(server)
+        server.run_until(4_000.0)
+        assert server.trace.count("fault_inject") > 0
+        assert server.trace.count("retry") > 0
+        # Backoff outlives the outage, so retried requests complete.
+        retried = {e.request_id for e in server.trace.events("retry")}
+        completed = {e.request_id
+                     for e in server.trace.events("complete")}
+        assert retried & completed
+
+    def test_exhausted_retries_become_fault_misses(self):
+        # Quick retries burn the whole budget inside the outage.
+        server = make_server(OUTAGE, policy=RetryPolicy(
+            max_attempts=2, abort_ms=2.0, backoff_ms=10.0))
+        open_streams(server)
+        server.run_until(4_000.0)
+        fault_misses = [e for e in server.trace.events("miss")
+                        if e.detail == "fault"]
+        assert fault_misses
+        assert server.stats().fault_failures == len(fault_misses)
+
+    def test_stats_mirror_injector_counters(self):
+        server = make_server(OUTAGE)
+        open_streams(server)
+        server.run_until(4_000.0)
+        stats = server.stats()
+        assert stats.faults_injected == server.faults.counters.injected
+        assert stats.fault_retries == server.faults.counters.retries
+        assert stats.faults_injected > 0
+
+    def test_no_injector_means_zero_fault_stats(self):
+        disk = make_xp32150_disk()
+        disk.reset(0)
+        server = StreamingServer(
+            EDFScheduler(), DiskService(disk),
+            SessionManager(disk.geometry, seed=5),
+            make_admission("always"), clock=VirtualClock(),
+        )
+        open_streams(server)
+        server.run_until(2_000.0)
+        stats = server.stats()
+        assert stats.faults_injected == 0
+        assert stats.fault_failures == 0
+        assert not stats.degraded
+        assert server.trace.count("fault_inject") == 0
+
+
+@pytest.mark.slow
+class TestDegradedMode:
+    def config(self, policy="shed"):
+        return ServerConfig(degrade_after=5, degrade_window_ms=2_000.0,
+                            degrade_policy=policy, degrade_victims=1)
+
+    def test_sustained_pressure_enters_and_exits(self):
+        server = make_server(OUTAGE, config=self.config())
+        open_streams(server)
+        server.run_until(10_000.0)
+        assert server.trace.count("degrade_enter") >= 1
+        assert server.trace.count("degrade_exit") >= 1
+        stats = server.stats()
+        assert stats.degrade_entries >= 1
+        assert not stats.degraded  # pressure long gone by t=10s
+        # Entries and exits alternate, starting with an enter.
+        mode_events = [e.kind for e in server.trace
+                       if e.kind.startswith("degrade_")]
+        assert mode_events[0] == "degrade_enter"
+        for first, second in zip(mode_events, mode_events[1:]):
+            assert first != second
+
+    def test_shed_policy_closes_lowest_priority_stream(self):
+        server = make_server(OUTAGE, config=self.config("shed"))
+        sessions = open_streams(server)
+        lowest = max(sessions,
+                     key=lambda s: (s.spec.priorities, s.stream_id))
+        server.run_until(10_000.0)
+        stats = server.stats()
+        assert stats.degraded_streams >= 1
+        closes = {e.stream_id for e in server.trace.events("close")}
+        assert lowest.stream_id in closes
+        assert stats.active_streams < len(sessions)
+
+    def test_downgrade_policy_keeps_stream_at_lowest_priority(self):
+        server = make_server(OUTAGE, config=self.config("downgrade"))
+        sessions = open_streams(server)
+        levels = server.config.priority_levels
+        # Streams already at the lowest level can't be demoted further;
+        # the victim is the worst-priority stream above it.
+        candidates = [s for s in sessions
+                      if s.spec.priorities != (levels - 1,)]
+        victim = max(candidates,
+                     key=lambda s: (s.spec.priorities, s.stream_id))
+        server.run_until(10_000.0)
+        stats = server.stats()
+        assert stats.degraded_streams >= 1
+        downgrades = server.trace.events("downgrade")
+        assert any(e.detail == "degrade-mode" and
+                   e.stream_id == victim.stream_id for e in downgrades)
+        # The stream still plays — demoted, not closed.
+        assert victim.spec.priorities == (levels - 1,)
+        assert stats.active_streams == len(sessions)
+
+    def test_below_threshold_never_degrades(self):
+        config = ServerConfig(degrade_after=10_000,
+                              degrade_window_ms=2_000.0)
+        server = make_server(OUTAGE, config=config)
+        open_streams(server)
+        server.run_until(10_000.0)
+        assert server.trace.count("degrade_enter") == 0
+        assert server.stats().degraded_streams == 0
+
+
+class TestConfigValidation:
+    def test_degrade_knobs_validated(self):
+        with pytest.raises(ValueError):
+            ServerConfig(degrade_window_ms=0.0)
+        with pytest.raises(ValueError):
+            ServerConfig(degrade_after=0)
+        with pytest.raises(ValueError):
+            ServerConfig(degrade_policy="panic")
+        with pytest.raises(ValueError):
+            ServerConfig(degrade_victims=0)

@@ -1,0 +1,102 @@
+"""Property-based differential tests: batch vs scalar, and bijectivity.
+
+Two families of properties, driven by hypothesis:
+
+* **Differential**: for random batches of grid points,
+  :func:`repro.sfc.vectorized.batch_index` must equal the scalar
+  :meth:`~repro.sfc.base.SpaceFillingCurve.index` element-wise — on
+  the vectorized curves (hilbert, gray) *and* on the scalar-fallback
+  curves (peano, diagonal), so the API stays total and bit-identical
+  either way.
+* **Bijectivity**: every curve registered in
+  :data:`repro.sfc.registry.CURVES` is a bijection between grid cells
+  and ``[0, side**dims)``: ``index(point(i)) == i`` and
+  ``point(index(p)) == p`` for random samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.registry import CURVES, get_curve
+from repro.sfc.vectorized import batch_index
+
+#: The satellite's named foursome: two vectorized, two fallback curves.
+DIFFERENTIAL_CURVES = ("hilbert", "peano", "gray", "diagonal")
+
+#: Valid (dims, side) geometries per curve family. Peano needs a power
+#: of three and 2-D; hilbert/gray need powers of two; the rest take
+#: any geometry.
+GEOMETRIES = {
+    "hilbert": [(2, 8), (3, 4), (2, 16)],
+    "gray": [(2, 8), (3, 4), (2, 16)],
+    "peano": [(2, 3), (2, 9)],
+    "diagonal": [(2, 7), (3, 5), (2, 12)],
+    "sweep": [(2, 7), (3, 5)],
+    "cscan": [(2, 7), (3, 5)],
+    "scan": [(2, 7), (3, 5)],
+    "spiral": [(2, 7), (2, 12)],
+}
+
+
+def _points_strategy(dims: int, side: int):
+    point = st.tuples(*(st.integers(0, side - 1) for _ in range(dims)))
+    return st.lists(point, min_size=1, max_size=64)
+
+
+@pytest.mark.parametrize("name", DIFFERENTIAL_CURVES)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_batch_matches_scalar(name, data):
+    """batch_index == scalar index, element-wise, on random batches."""
+    dims, side = data.draw(st.sampled_from(GEOMETRIES[name]),
+                           label="geometry")
+    curve = get_curve(name, dims, side)
+    points = data.draw(_points_strategy(dims, side), label="points")
+    batched = batch_index(curve, np.array(points, dtype=np.int64))
+    scalar = [curve.index(p) for p in points]
+    assert batched.tolist() == scalar
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_point_of_index_round_trips(name, data):
+    """index(point(i)) == i for random curve positions."""
+    dims, side = data.draw(st.sampled_from(GEOMETRIES[name]),
+                           label="geometry")
+    curve = get_curve(name, dims, side)
+    index = data.draw(st.integers(0, side ** dims - 1), label="index")
+    point = curve.point(index)
+    assert len(point) == dims
+    assert all(0 <= c < side for c in point)
+    assert curve.index(point) == index
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_index_of_point_round_trips(name, data):
+    """point(index(p)) == p for random grid cells."""
+    dims, side = data.draw(st.sampled_from(GEOMETRIES[name]),
+                           label="geometry")
+    curve = get_curve(name, dims, side)
+    cell = data.draw(
+        st.tuples(*(st.integers(0, side - 1) for _ in range(dims))),
+        label="cell",
+    )
+    index = curve.index(cell)
+    assert 0 <= index < side ** dims
+    assert curve.point(index) == cell
+
+
+@pytest.mark.parametrize("name", sorted(CURVES))
+def test_small_grid_is_a_complete_bijection(name):
+    """Exhaustively: the smallest valid grid is visited exactly once."""
+    dims, side = GEOMETRIES[name][0]
+    curve = get_curve(name, dims, side)
+    seen = {curve.point(i) for i in range(side ** dims)}
+    assert len(seen) == side ** dims

@@ -7,7 +7,16 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.dispatcher import ConditionallyPreemptiveDispatcher
 from repro.core.request import DiskRequest
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyService,
+    LatencySpike,
+    RetryPolicy,
+    TransientErrors,
+)
 from repro.schedulers.edf import EDFScheduler
 from repro.schedulers.fcfs import FCFSScheduler
 from repro.schedulers.scan import BatchedCScanScheduler
@@ -87,6 +96,119 @@ def test_drop_mode_invariants(rows, service):
     assert metrics.served + metrics.dropped == len(requests)
     # Dropped requests consumed no disk time.
     assert abs(metrics.busy_ms - service * metrics.served) < 1e-6
+
+
+@given(rows=request_lists, which=st.integers(0, len(SCHEDULERS) - 1),
+       service=st.floats(min_value=0.1, max_value=50.0),
+       probability=st.floats(min_value=0.0, max_value=0.5),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_fault_load_invariants(rows, which, service, probability, seed):
+    """Conservation holds under transient errors and latency spikes.
+
+    The offline engine has no failure path: faults stretch service
+    time (aborts + backoffs + penalties) but every request still
+    completes, and the injector's ledger stays self-consistent.
+    """
+    requests = build(rows)
+    plan = FaultPlan([
+        TransientErrors(disk=0, start_ms=0.0, end_ms=math.inf,
+                        probability=probability),
+        LatencySpike(disk=0, start_ms=0.0, end_ms=5e3, extra_ms=2.0),
+    ], seed=seed)
+    injector = FaultInjector(plan, policy=RetryPolicy(
+        max_attempts=3, abort_ms=1.0, backoff_ms=2.0))
+    faulty = FaultyService(constant_service(service), injector)
+    result = run_simulation(requests, SCHEDULERS[which](), faulty,
+                            priority_levels=8)
+    metrics = result.metrics
+    # Conservation survives fault injection: nothing is lost.
+    assert metrics.completed == len(requests)
+    assert result.unserved == 0
+    # Faults only ever slow the disk down.
+    assert metrics.busy_ms >= service * len(requests) - 1e-6
+    # The injector's ledger balances: every injected failure was
+    # either retried or abandoned.
+    counters = injector.counters
+    assert counters.injected == counters.retries + counters.gave_up
+    assert counters.gave_up <= len(requests)
+
+
+#: Operations for the dispatcher model: insert a fresh request, pop
+#: the next one, or retry (re-insert) a previously popped request —
+#: the shape fault-driven retries produce.
+_dispatcher_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"),
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False)),
+        st.tuples(st.just("pop"), st.just(0.0)),
+        st.tuples(st.just("retry"),
+                  st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False)),
+    ),
+    max_size=80,
+)
+
+
+@given(ops=_dispatcher_ops,
+       window=st.floats(min_value=0.0, max_value=50.0),
+       sp=st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_conditional_dispatcher_window_invariant(ops, window, sp):
+    """The blocking window governs every insert — retries included.
+
+    While a request with value ``v_cur`` is in service, an insert (new
+    arrival *or* a retry re-inserting an already-failed request)
+    preempts the active queue iff ``v_new < v_cur - w``.  The model
+    also checks no id is handed out twice without an intervening
+    re-insert, and nothing popped was never inserted.
+    """
+    dispatcher = ConditionallyPreemptiveDispatcher(
+        window, serve_and_promote=sp)
+    next_id = 0
+    queued: set[int] = set()    # ids currently inside the dispatcher
+    popped: list[DiskRequest] = []  # completed, eligible for retry
+    vc_by_id: dict[int, float] = {}  # value of the latest insert
+    current_vc: float | None = None
+    expected_preemptions = 0
+
+    def insert(request: DiskRequest, vc: float) -> None:
+        nonlocal expected_preemptions
+        if current_vc is not None and vc < current_vc - window:
+            expected_preemptions += 1
+        dispatcher.insert(request, vc)
+        queued.add(request.request_id)
+        vc_by_id[request.request_id] = vc
+
+    for op, value in ops:
+        if op == "insert":
+            request = DiskRequest(
+                request_id=next_id, arrival_ms=0.0, cylinder=0,
+                nbytes=4096, deadline_ms=math.inf, priorities=(0,),
+            )
+            next_id += 1
+            insert(request, value)
+        elif op == "retry" and popped:
+            # Re-insert a completed request, as a fault retry would.
+            request = popped.pop(0)
+            insert(request, value)
+        elif op == "pop":
+            request = dispatcher.pop()
+            if request is None:
+                # Empty dispatcher: the service round is over.
+                assert not queued
+                current_vc = None
+                continue
+            # Never hands out an id it does not hold (no double
+            # dispatch, no resurrection of completed requests).
+            assert request.request_id in queued
+            queued.discard(request.request_id)
+            current_vc = vc_by_id[request.request_id]
+            popped.append(request)
+
+    assert dispatcher.preemptions == expected_preemptions
+    assert len(dispatcher) == len(queued)
 
 
 @given(rows=request_lists)
