@@ -6,8 +6,8 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-quick bench experiments experiments-quick serve-demo \
-	faults-demo coverage loc
+.PHONY: test test-quick bench bench-quick bench-baseline experiments \
+	experiments-quick serve-demo faults-demo coverage loc
 
 test:
 	$(PYTHONPATH_SRC) pytest tests/
@@ -18,6 +18,14 @@ test-quick:
 
 bench:
 	$(PYTHONPATH_SRC) pytest benchmarks/ --benchmark-only
+
+# CI-sized hot-path bench: asserts the fast-path invariants, no file.
+bench-quick:
+	$(PYTHONPATH_SRC) python -m repro.experiments bench --quick
+
+# Full-size hot-path bench; refreshes the committed BENCH_PR3.json.
+bench-baseline:
+	$(PYTHONPATH_SRC) python -m repro.experiments bench
 
 experiments:
 	$(PYTHONPATH_SRC) python -m repro.experiments run all

@@ -1,11 +1,13 @@
 """Batch characterization: vectorized v_c for many requests at once.
 
-Bursty multimedia servers receive requests in batches (Section 6), so
-the encapsulator's per-request cost can be amortized: this module
-computes the characterization values of a whole request list with
-numpy, using the vectorized curve encoders for stage 1 and plain array
-arithmetic for the weighted deadline and partitioned seek stages.
-Configurations outside the fast path (2-D curve stages, exotic curves)
+Bursty multimedia servers receive requests in batches (Section 6), and
+incremental re-characterization re-keys whole queues when the clock or
+head moves, so the encapsulator's per-request cost must be amortized:
+this module computes the characterization values of a whole request
+list with numpy.  Stage 1 comes from the stage's memo (immutable
+priorities) with misses filled by the vectorized/LUT curve encoders;
+the weighted deadline and partitioned seek stages are plain array
+arithmetic.  Configurations outside the fast path (2-D curve stages)
 fall back to the scalar encapsulator, so results are always exact.
 """
 
@@ -14,8 +16,6 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
-
-from repro.sfc.vectorized import batch_index, has_vectorized_path
 
 from .encapsulator import (
     Encapsulator,
@@ -44,13 +44,9 @@ def characterize_batch(encapsulator: Encapsulator,
     stage3 = encapsulator.stage3
 
     if stage1 is not None:
-        side = stage1.curve.side
-        points = np.array([
-            [min(max(int(level), 0), side - 1)
-             for level in request.priorities]
-            for request in requests
-        ])
-        values = batch_index(stage1.curve, points).astype(np.float64)
+        values = stage1.encode_many(
+            [request.priorities for request in requests]
+        )
         cells = stage1.output_cells
     else:
         values = np.zeros(len(requests))
@@ -75,11 +71,12 @@ def characterize_batch(encapsulator: Encapsulator,
 
 def _fast_path_applies(encapsulator: Encapsulator) -> bool:
     stage1 = encapsulator.stage1
-    if stage1 is not None:
-        if not isinstance(stage1, PrioritySFCStage):
-            return False
-        if not has_vectorized_path(stage1.curve):
-            return False
+    if stage1 is not None and not isinstance(stage1, PrioritySFCStage):
+        # Custom stage-1 protocols must go through their own encode().
+        # A PrioritySFCStage always qualifies: encode_many() is memo +
+        # batch_index, which is total (analytic, LUT, or the scalar
+        # loop) and bit-identical to scalar encode either way.
+        return False
     stage2 = encapsulator.stage2
     if stage2 is not None and not isinstance(stage2,
                                              WeightedDeadlineStage):

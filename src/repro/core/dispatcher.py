@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.util.priority_queue import IndexedPriorityQueue
 
@@ -61,6 +61,18 @@ class Dispatcher(ABC):
         """Characterization value a waiting request was queued with."""
         raise KeyError(request.request_id)
 
+    def rekey_batch(self, pairs: Iterable[tuple[DiskRequest, float]]
+                    ) -> int:
+        """Update the ``v_c`` of many queued requests in one pass.
+
+        Each request keeps its queue (active vs waiting) -- moving
+        between queues is the SP policy's job, not re-keying's -- and
+        the underlying heaps rebuild once instead of per item.  Raises
+        ``KeyError`` for requests that are not queued.  Returns the
+        number of requests re-keyed.
+        """
+        raise NotImplementedError
+
 
 class FullyPreemptiveDispatcher(Dispatcher):
     """Single queue ordered purely by ``v_c``."""
@@ -89,6 +101,30 @@ class FullyPreemptiveDispatcher(Dispatcher):
 
     def vc_of(self, request: DiskRequest) -> float:
         return self._queue.priority_of(request.request_id)  # type: ignore[return-value]
+
+    def rekey_batch(self, pairs: Iterable[tuple[DiskRequest, float]]
+                    ) -> int:
+        return self._queue.rekey_batch(
+            [(request.request_id, vc) for request, vc in pairs]
+        )
+
+
+def _rekey_two_queues(active: IndexedPriorityQueue,
+                      waiting: IndexedPriorityQueue,
+                      pairs: Iterable[tuple[DiskRequest, float]]) -> int:
+    """Shared bulk re-key for the two-queue dispatchers."""
+    active_pairs: list[tuple[int, float]] = []
+    waiting_pairs: list[tuple[int, float]] = []
+    for request, vc in pairs:
+        request_id = request.request_id
+        if request_id in active:
+            active_pairs.append((request_id, vc))
+        elif request_id in waiting:
+            waiting_pairs.append((request_id, vc))
+        else:
+            raise KeyError(request_id)
+    return (active.rekey_batch(active_pairs)
+            + waiting.rekey_batch(waiting_pairs))
 
 
 class NonPreemptiveDispatcher(Dispatcher):
@@ -128,6 +164,10 @@ class NonPreemptiveDispatcher(Dispatcher):
             if request.request_id in queue:
                 return queue.priority_of(request.request_id)  # type: ignore[return-value]
         raise KeyError(request.request_id)
+
+    def rekey_batch(self, pairs: Iterable[tuple[DiskRequest, float]]
+                    ) -> int:
+        return _rekey_two_queues(self._active, self._waiting, pairs)
 
 
 class ConditionallyPreemptiveDispatcher(Dispatcher):
@@ -207,16 +247,29 @@ class ConditionallyPreemptiveDispatcher(Dispatcher):
         return self._requests.pop(request_id)
 
     def _promote(self) -> None:
-        """SP policy: lift now-significant requests from q' into q."""
-        while self._active and self._waiting:
-            _head_id, head_vc = self._active.peek()
+        """SP policy: lift now-significant requests from q' into q.
+
+        The scan collects every promotable request first and pushes
+        them into ``q`` as one bulk insert.  A promoted request beats
+        the active head by more than ``w``, so it *becomes* the head;
+        tracking the threshold locally is therefore equivalent to
+        re-peeking ``q`` after every promotion.
+        """
+        if not self._active or not self._waiting:
+            return
+        _head_id, head_vc = self._active.peek()
+        promoted: list[tuple[int, float]] = []
+        while self._waiting:
             wait_id, wait_vc = self._waiting.peek()
             if wait_vc < head_vc - self._window:  # type: ignore[operator]
                 self._waiting.pop()
-                self._active.push(wait_id, wait_vc)
-                self._promotions += 1
+                promoted.append((wait_id, wait_vc))  # type: ignore[arg-type]
+                head_vc = wait_vc  # the promoted request is the new head
             else:
                 break
+        if promoted:
+            self._active.push_batch(promoted)
+            self._promotions += len(promoted)
 
     def pending(self) -> Iterator[DiskRequest]:
         return iter(list(self._requests.values()))
@@ -229,6 +282,17 @@ class ConditionallyPreemptiveDispatcher(Dispatcher):
             if request.request_id in queue:
                 return queue.priority_of(request.request_id)  # type: ignore[return-value]
         raise KeyError(request.request_id)
+
+    def rekey_batch(self, pairs: Iterable[tuple[DiskRequest, float]]
+                    ) -> int:
+        """Bulk v_c update; queue membership is preserved.
+
+        A re-keyed waiting request that now beats the in-service v_c
+        by more than ``w`` is *not* preempted retroactively -- the SP
+        scan at the next dispatch promotes it, matching the paper's
+        "preemption happens on arrival, promotion on dispatch" split.
+        """
+        return _rekey_two_queues(self._active, self._waiting, pairs)
 
 
 def window_from_fraction(fraction: float, vc_cells: int) -> float:

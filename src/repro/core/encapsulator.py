@@ -26,8 +26,11 @@ import math
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+import numpy as np
+
 from repro.sfc.base import SpaceFillingCurve
 from repro.sfc.registry import get_curve
+from repro.sfc.vectorized import batch_index
 
 from .quantize import (
     CylinderDistanceQuantizer,
@@ -83,11 +86,25 @@ def _rescale(value: float, in_cells: int, out_cells: int) -> int:
 
 
 class PrioritySFCStage:
-    """Stage 1: a D-dimensional space-filling curve over priority levels."""
+    """Stage 1: a D-dimensional space-filling curve over priority levels.
+
+    The stage-1 scalar depends *only* on the (immutable) priority
+    vector, so it is memoized per distinct vector: re-characterizing a
+    queue when the clock or head moves recomputes stages 2-3 but hits
+    this memo for stage 1, and repeat arrivals from the same stream
+    never pay the curve walk twice.  The memo is bounded by the curve
+    size (there are at most ``len(curve)`` distinct quantized points;
+    raw vectors beyond the cap simply stop being cached).
+    """
+
+    #: Upper bound on memoized priority vectors per stage.
+    MEMO_CAP = 1 << 16
 
     def __init__(self, curve: SpaceFillingCurve) -> None:
         self._curve = curve
         self._quantizer = PriorityQuantizer(curve.side)
+        self._memo: dict[tuple[int, ...], int] = {}
+        self._memo_cap = min(len(curve), self.MEMO_CAP)
 
     @classmethod
     def from_name(cls, curve_name: str, dims: int,
@@ -102,14 +119,63 @@ class PrioritySFCStage:
     def output_cells(self) -> int:
         return len(self._curve)
 
+    @property
+    def memo_size(self) -> int:
+        """Number of memoized priority vectors (observability)."""
+        return len(self._memo)
+
     def encode(self, priorities: Sequence[int]) -> int:
         if len(priorities) != self._curve.dims:
             raise ValueError(
                 f"request has {len(priorities)} priorities, stage expects "
                 f"{self._curve.dims}"
             )
-        point = tuple(self._quantizer(p) for p in priorities)
-        return self._curve.index(point)
+        key = (priorities if type(priorities) is tuple
+               else tuple(priorities))
+        value = self._memo.get(key)
+        if value is None:
+            point = tuple(self._quantizer(p) for p in key)
+            value = self._curve.index(point)
+            if len(self._memo) < self._memo_cap:
+                self._memo[key] = value
+        return value
+
+    def encode_many(self,
+                    vectors: Sequence[Sequence[int]]) -> np.ndarray:
+        """Stage-1 scalars of many priority vectors at once.
+
+        Memo hits are dictionary lookups; misses are computed in one
+        vectorized :func:`~repro.sfc.vectorized.batch_index` call
+        (analytic or LUT path) and back-filled into the memo.
+        Identical to per-vector :meth:`encode`.
+        """
+        out = np.empty(len(vectors), dtype=np.float64)
+        missing: list[int] = []
+        memo = self._memo
+        for i, vector in enumerate(vectors):
+            key = (vector if type(vector) is tuple else tuple(vector))
+            value = memo.get(key)
+            if value is None:
+                missing.append(i)
+            else:
+                out[i] = value
+        if missing:
+            side = self._curve.side
+            points = np.array(
+                [[min(max(int(level), 0), side - 1)
+                  for level in vectors[i]]
+                 for i in missing],
+                dtype=np.int64,
+            ).reshape(len(missing), self._curve.dims)
+            values = batch_index(self._curve, points)
+            cap = self._memo_cap
+            for j, i in enumerate(missing):
+                value = int(values[j])
+                out[i] = value
+                if len(memo) < cap:
+                    key = tuple(vectors[i])
+                    memo[key] = value
+        return out
 
 
 class WeightedDeadlineStage:

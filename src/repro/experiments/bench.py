@@ -1,0 +1,356 @@
+"""Tracked hot-path benchmark baseline (``bench`` subcommand).
+
+Times the four hot paths this repository optimizes -- curve batch
+indexing (LUT tier), batch characterization (stage-1 memo + vectorized
+stages), bulk queue re-keying, and the end-to-end simulator loop --
+each against its pre-optimization equivalent, and *asserts the
+invariants that make the fast paths safe*:
+
+* every fast path is bit-identical to its scalar/naive counterpart,
+* bulk re-keys rebuild the heap once (``heapify_count``), not per item,
+* incremental re-characterization is idempotent (a second pass at the
+  same instant re-keys nothing).
+
+Timings are recorded for tracking but never asserted -- wall clock is
+machine-dependent; the operation counts are not.  The full run writes
+``BENCH_PR3.json`` (the committed baseline); ``--quick`` runs a
+CI-sized instance.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.encapsulator import EncodeContext
+from repro.core.batch import characterize_batch
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.sfc import get_curve
+from repro.sfc.lut import LUT_STATS, clear_lut_cache, curve_lut
+from repro.sfc.vectorized import batch_index
+from repro.sim.server import run_simulation
+from repro.sim.service import constant_service
+from repro.util.priority_queue import IndexedPriorityQueue
+from repro.workloads.poisson import PoissonWorkload
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """Problem sizes for the tracked benchmark."""
+
+    #: Curves exercised by the LUT tier (no analytic vectorized path).
+    lut_curves: tuple[str, ...] = ("spiral", "diagonal", "peano")
+    lut_dims: int = 4
+    lut_levels: int = 16
+    lut_points: int = 200_000
+    characterize_requests: int = 20_000
+    queue_size: int = 20_000
+    queue_rekeys: int = 10_000
+    sim_requests: int = 4_000
+    repeats: int = 3
+    seed: int = 2004
+
+    def quick(self) -> "BenchSpec":
+        return BenchSpec(
+            lut_dims=3,
+            lut_levels=8,
+            lut_points=20_000,
+            characterize_requests=2_000,
+            queue_size=2_000,
+            queue_rekeys=1_000,
+            sim_requests=600,
+            repeats=2,
+        )
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_curve_batch(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """Scalar ``curve.index`` loop vs LUT-backed ``batch_index``."""
+    rng = np.random.default_rng(spec.seed)
+    rows: list[dict] = []
+    invariants: dict[str, bool] = {}
+    for name in spec.lut_curves:
+        if name == "peano":
+            # Peano is 2-D with a power-of-3 side.
+            curve = get_curve(name, 2, 81)
+        else:
+            curve = get_curve(name, spec.lut_dims, spec.lut_levels)
+        side = curve.side
+        pts = rng.integers(0, side, size=(spec.lut_points, curve.dims),
+                           dtype=np.uint64)
+        tuples = [tuple(int(v) for v in row) for row in pts]
+
+        scalar_s, scalar_out = _best_of(
+            lambda: [curve.index(t) for t in tuples], spec.repeats
+        )
+        clear_lut_cache()
+        LUT_STATS.reset()
+        build_s, _ = _best_of(lambda: curve_lut(curve, force=True), 1)
+        lut_s, lut_out = _best_of(
+            lambda: batch_index(curve, pts), spec.repeats
+        )
+        identical = bool(
+            np.array_equal(np.asarray(scalar_out, dtype=np.uint64),
+                           lut_out)
+        )
+        invariants[f"curve_batch.{name}.bit_identical"] = identical
+        invariants[f"curve_batch.{name}.single_build"] = (
+            LUT_STATS.builds == 1
+        )
+        rows.append({
+            "curve": curve.name,
+            "cells": int(side) ** curve.dims,
+            "points": spec.lut_points,
+            "scalar_s": scalar_s,
+            "lut_build_s": build_s,
+            "lut_batch_s": lut_s,
+            "speedup": scalar_s / lut_s if lut_s > 0 else float("inf"),
+        })
+    return {"rows": rows}, invariants
+
+
+def _workload(spec: BenchSpec, count: int, dims: int = 3,
+              levels: int = 16) -> list:
+    return PoissonWorkload(
+        count=count,
+        mean_interarrival_ms=5.0,
+        priority_dims=dims,
+        priority_levels=levels,
+        deadline_range_ms=(200.0, 1200.0),
+    ).generate(spec.seed)
+
+
+def _scheduler(sfc1: str = "hilbert", dims: int = 3,
+               levels: int = 16) -> CascadedSFCScheduler:
+    config = CascadedSFCConfig(
+        priority_dims=dims, priority_levels=levels, sfc1=sfc1
+    )
+    return CascadedSFCScheduler(config, cylinders=3832)
+
+
+def bench_characterize(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """Scalar per-request characterize vs one vectorized batch."""
+    requests = _workload(spec, spec.characterize_requests)
+    scheduler = _scheduler("spiral")
+    encapsulator = scheduler.encapsulator
+    # The pre-PR scalar path had no stage-1 memo.
+    encapsulator.stage1._memo_cap = 0
+    ctx = EncodeContext(now_ms=50.0, head_cylinder=1700)
+
+    scalar_s, scalar_out = _best_of(
+        lambda: [encapsulator.characterize(r, ctx) for r in requests],
+        spec.repeats,
+    )
+    # Fresh stage-1 memo per run: time the batch path cold, not the
+    # second pass over an already-populated memo.
+    def batch_run():
+        sched = _scheduler("spiral")
+        return characterize_batch(sched.encapsulator, requests, ctx)
+    batch_s, batch_out = _best_of(batch_run, spec.repeats)
+    identical = bool(np.array_equal(np.asarray(scalar_out), batch_out))
+    return (
+        {
+            "requests": spec.characterize_requests,
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        },
+        {"characterize.bit_identical": identical},
+    )
+
+
+def bench_queue(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """n-times remove+push vs one ``rekey_batch`` call."""
+    rng = np.random.default_rng(spec.seed)
+    keys = rng.random(spec.queue_size)
+    picks = rng.integers(0, spec.queue_size, size=spec.queue_rekeys)
+    new_keys = rng.random(spec.queue_rekeys)
+
+    def fill() -> IndexedPriorityQueue:
+        queue: IndexedPriorityQueue[int] = IndexedPriorityQueue()
+        for item, key in enumerate(keys):
+            queue.push(item, float(key))
+        return queue
+
+    pairs = [(int(item), float(key))
+             for item, key in zip(picks, new_keys)]
+
+    # Timing covers re-key *and* drain: the naive idiom leaves dead
+    # entries in the heap whose cost lands on later pops.
+    def naive():
+        queue = fill()
+        for item, key in pairs:
+            queue.remove(item)
+            queue.push(item, key)
+        return [queue.pop() for _ in range(len(queue))]
+
+    heapifies = 0
+
+    def bulk():
+        nonlocal heapifies
+        queue = fill()
+        queue.heapify_count = 0
+        queue.rekey_batch(pairs)
+        heapifies = queue.heapify_count
+        return [queue.pop() for _ in range(len(queue))]
+
+    naive_s, naive_order = _best_of(naive, spec.repeats)
+    bulk_s, bulk_order = _best_of(bulk, spec.repeats)
+    return (
+        {
+            "size": spec.queue_size,
+            "rekeys": spec.queue_rekeys,
+            "naive_s": naive_s,
+            "bulk_s": bulk_s,
+            "speedup": naive_s / bulk_s if bulk_s > 0 else float("inf"),
+            "heapifies": heapifies,
+        },
+        {
+            "queue.same_pop_order": naive_order == bulk_order,
+            "queue.single_heapify": heapifies == 1,
+        },
+    )
+
+
+def bench_end_to_end(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """Full ``run_simulation`` with and without the stage-1 memo."""
+    requests = _workload(spec, spec.sim_requests)
+
+    def run(memo: bool):
+        scheduler = _scheduler("spiral")
+        if not memo:
+            # Pre-memo behaviour: every encode recomputes the curve.
+            scheduler.encapsulator.stage1._memo_cap = 0
+        return run_simulation(requests, scheduler,
+                              constant_service(2.0), priority_levels=16)
+
+    legacy_s, legacy = _best_of(lambda: run(memo=False), spec.repeats)
+    stock_s, stock = _best_of(lambda: run(memo=True), spec.repeats)
+    same = (
+        legacy.metrics.completed == stock.metrics.completed
+        and legacy.misses == stock.misses
+        and legacy.inversions == stock.inversions
+    )
+    return (
+        {
+            "requests": spec.sim_requests,
+            "legacy_s": legacy_s,
+            "stock_s": stock_s,
+            "speedup": legacy_s / stock_s if stock_s > 0 else float("inf"),
+        },
+        {"end_to_end.same_metrics": same},
+    )
+
+
+def bench_recharacterize(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """Incremental queue re-key vs a from-scratch drain-and-resubmit."""
+    requests = _workload(spec, spec.characterize_requests)
+    now, head = 90_000.0, 2500
+
+    def load() -> CascadedSFCScheduler:
+        scheduler = _scheduler("spiral")
+        scheduler.submit_batch(requests, 0.0, 0)
+        return scheduler
+
+    incremental_s = float("inf")
+    for _ in range(spec.repeats):
+        inc_sched = load()
+        started = time.perf_counter()
+        inc_sched.recharacterize(now, head)
+        incremental_s = min(incremental_s,
+                            time.perf_counter() - started)
+
+    scratch_s = float("inf")
+    for _ in range(spec.repeats):
+        stale = load()
+        started = time.perf_counter()
+        pending = list(stale.pending())
+        raw_sched = _scheduler("spiral")
+        raw_sched.submit_batch(pending, now, head)
+        scratch_s = min(scratch_s, time.perf_counter() - started)
+    vc_match = all(
+        inc_sched.dispatcher.vc_of(r) == raw_sched.dispatcher.vc_of(r)
+        for r in inc_sched.pending()
+    )
+    idempotent = inc_sched.recharacterize(now, head) == 0
+    return (
+        {
+            "requests": spec.characterize_requests,
+            "scratch_s": scratch_s,
+            "incremental_s": incremental_s,
+            "speedup": (scratch_s / incremental_s
+                        if incremental_s > 0 else float("inf")),
+        },
+        {
+            "recharacterize.same_vc": vc_match,
+            "recharacterize.idempotent": idempotent,
+        },
+    )
+
+
+SECTIONS = (
+    ("curve_batch", bench_curve_batch),
+    ("characterize", bench_characterize),
+    ("queue", bench_queue),
+    ("end_to_end", bench_end_to_end),
+    ("recharacterize", bench_recharacterize),
+)
+
+
+def run(spec: BenchSpec = BenchSpec()) -> dict:
+    """Run every section; returns the report dict (see module doc)."""
+    report: dict = {
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "spec": "quick" if spec.repeats < 3 else "full",
+        },
+        "sections": {},
+        "invariants": {},
+    }
+    for name, fn in SECTIONS:
+        section, invariants = fn(spec)
+        report["sections"][name] = section
+        report["invariants"].update(invariants)
+    report["ok"] = all(report["invariants"].values())
+    return report
+
+
+def render(report: dict) -> str:
+    lines = ["hot-path benchmark (best-of wall clock; invariants asserted)"]
+    for name, section in report["sections"].items():
+        rows = section.get("rows", [section])
+        for row in rows:
+            label = row.get("curve", name)
+            speedup = row.get("speedup", 0.0)
+            lines.append(f"  {name:15s} {label:18s} "
+                         f"speedup {speedup:6.1f}x")
+    bad = [k for k, v in report["invariants"].items() if not v]
+    lines.append(
+        "invariants: all ok" if not bad
+        else f"invariants FAILED: {', '.join(bad)}"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

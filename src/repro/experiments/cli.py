@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments run fig5 [--quick]
     python -m repro.experiments run all [--quick]
     python -m repro.experiments serve [--quick] [--policy reservation]
+    python -m repro.experiments bench [--quick] [--out FILE]
 """
 
 from __future__ import annotations
@@ -153,6 +154,24 @@ def run_faults(args) -> int:
     return 0 if (result.deterministic and beaten) else 1
 
 
+def run_bench(args) -> int:
+    """Hot-path benchmark baseline (`bench` subcommand)."""
+    from . import bench
+
+    spec = bench.BenchSpec()
+    if args.quick:
+        spec = spec.quick()
+    started = time.perf_counter()
+    print("=== bench: hot-path timings and safety invariants "
+          f"({'quick' if args.quick else 'full'})")
+    report = bench.run(spec)
+    print(bench.render(report))
+    if args.out is not None:
+        print(f"wrote {bench.write_report(report, args.out)}")
+    print(f"--- bench done in {time.perf_counter() - started:.1f}s")
+    return 0 if report["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -196,9 +215,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="comparison CSV (default: "
                              "results/faults_compare.csv for full runs, "
                              "skipped under --quick; use '' to skip)")
+    benchp = sub.add_parser(
+        "bench",
+        help="hot-path benchmark baseline with safety invariants",
+    )
+    benchp.add_argument("--quick", action="store_true",
+                        help="CI-sized run (same invariants)")
+    benchp.add_argument("--out", metavar="PATH", default=None,
+                        help="write the JSON report (default: "
+                             "BENCH_PR3.json for full runs, skipped "
+                             "under --quick; use '' to skip)")
     args = parser.parse_args(argv)
     if getattr(args, "out", None) == "":
         args.out = None
+    elif (args.command == "bench" and args.out is None
+            and not args.quick):
+        # Only full runs refresh the committed baseline.
+        args.out = "BENCH_PR3.json"
     elif (args.command == "faults" and args.out is None
             and not args.quick):
         # Only full-spec runs refresh the recorded comparison; the
@@ -210,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:8s} {DESCRIPTIONS[name]}")
         print("serve    online admission-controlled streaming ramp")
         print("faults   schedulers under an identical fault schedule")
+        print("bench    hot-path benchmark baseline (invariant-checked)")
         return 0
 
     if args.command == "serve":
@@ -217,6 +251,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "faults":
         return run_faults(args)
+
+    if args.command == "bench":
+        return run_bench(args)
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:

@@ -70,10 +70,18 @@ class ServerConfig:
     degrade_policy: str = "shed"
     #: Streams shed/downgraded per degraded-mode entry.
     degrade_victims: int = 1
+    #: Period of queue re-characterization: every that many ms the
+    #: scheduler re-keys queued requests to the current clock and head
+    #: position (no-op for schedulers without ``recharacterize``).
+    #: None (the default) keeps the paper's insert-time-only baseline
+    #: and the pinned golden serve trace bit-identical.
+    recharacterize_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.recharacterize_ms is not None and self.recharacterize_ms <= 0:
+            raise ValueError("recharacterize_ms must be positive")
         if self.shed_policy not in ("lowest-priority", "none"):
             raise ValueError(
                 "shed_policy must be 'lowest-priority' or 'none'"
@@ -145,6 +153,14 @@ class StreamingServer:
         #: Per-admitted-stream reserved utilization shares.
         self._reservations: dict[int, float] = {}
         self._qos: dict[int, StreamQoSTracker] = {}
+        #: Next periodic re-characterization instant (None = disarmed).
+        self._recharacterize_due: float | None = None
+        self._can_recharacterize = (
+            self.config.recharacterize_ms is not None
+            and getattr(scheduler, "recharacterize", None) is not None
+        )
+        #: Queue re-characterization passes performed.
+        self.recharacterizations = 0
 
     # -- stream lifecycle -------------------------------------------------
 
@@ -275,6 +291,9 @@ class StreamingServer:
             candidates.append(
                 self._fault_times[0] + self.config.degrade_window_ms
             )
+        if (self._recharacterize_due is not None
+                and self.queue_length() > 0):
+            candidates.append(max(self._recharacterize_due, now))
         due = self.manager.next_due_ms()
         if due is not None:
             if due > now:
@@ -299,9 +318,16 @@ class StreamingServer:
         self._requeue_retries(now)
         self._update_degrade(now)
         self._admit_due(now)
+        self._recharacterize(now)
         self._dispatch(now)
         for session in self.manager.retire_exhausted(now):
             self._retire(session, now)
+        # (Re-)arm the periodic re-key only while there is queued work,
+        # so an idle server generates no wake-ups.
+        if not self._can_recharacterize or self.queue_length() == 0:
+            self._recharacterize_due = None
+        elif self._recharacterize_due is None:
+            self._recharacterize_due = now + self.config.recharacterize_ms
         if self.reporter is not None and self.reporter.due(now):
             stats = self.stats()
             self.reporter.report(stats)
@@ -321,6 +347,18 @@ class StreamingServer:
                                   self.service.head_cylinder)
         if self.config.shed_policy == "lowest-priority":
             self._shed_to_capacity(now)
+
+    def _recharacterize(self, now: float) -> None:
+        """Periodic re-key of the queue to the current clock and head."""
+        if (self._recharacterize_due is None
+                or now < self._recharacterize_due
+                or self.queue_length() == 0):
+            return
+        self._recharacterize_due = None  # re-armed at end of _process
+        self.scheduler.recharacterize(  # type: ignore[attr-defined]
+            now, self.service.head_cylinder
+        )
+        self.recharacterizations += 1
 
     def _shed_to_capacity(self, now: float) -> None:
         """Evict lowest-priority queued victims until the bound holds."""

@@ -22,6 +22,13 @@ from .base import CurveDomainError, SpaceFillingCurve
 from .diagonal import DiagonalCurve
 from .gray import GrayCurve
 from .hilbert import HilbertCurve
+from .lut import (
+    LUT_MAX_CELLS,
+    LUT_STATS,
+    clear_lut_cache,
+    curve_lut,
+    has_lut_path,
+)
 from .peano import PeanoCurve
 from .registry import ANY_DIMS_CURVES, CURVES, PAPER_CURVES, get_curve
 from .scan import ScanCurve
@@ -38,6 +45,8 @@ from .transforms import (
 __all__ = [
     "ANY_DIMS_CURVES",
     "CURVES",
+    "LUT_MAX_CELLS",
+    "LUT_STATS",
     "CScanCurve",
     "CurveDomainError",
     "DiagonalCurve",
@@ -64,6 +73,9 @@ __all__ = [
     "visits_every_cell",
     "average_clusters",
     "batch_index",
+    "clear_lut_cache",
     "cluster_count",
+    "curve_lut",
+    "has_lut_path",
     "has_vectorized_path",
 ]

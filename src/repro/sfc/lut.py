@@ -1,0 +1,156 @@
+"""Precomputed point -> index lookup tables for exotic curves.
+
+The analytic batch encoders in :mod:`repro.sfc.vectorized` cover
+Sweep/C-Scan/Scan/Gray/Hilbert; Spiral, Diagonal, Peano and the curve
+transforms fall back to a per-row Python loop, which is exactly the
+per-request interpreter cost the paper's O(1) scalability argument
+(Section 6) rules out.  For grids of bounded size the full mapping can
+be tabulated instead: one ``uint64`` array of ``len(curve)`` entries,
+indexed by the row-major flattening of the grid point, holding the
+curve position of every cell.  A batch lookup is then a single numpy
+gather, bit-for-bit identical to the scalar ``curve.index`` because
+the table *is* the scalar mapping, enumerated once.
+
+Memory bound: tables are only built up to :data:`LUT_MAX_CELLS`
+(2**20) cells -- 8 MiB of ``uint64`` per curve worst case, and far
+less for the stage-1 priority grids the scheduler actually uses
+(``levels ** dims``, e.g. ``16**3`` = 32 KiB).
+
+Build policy: enumerating the curve costs one scalar ``point()`` call
+per cell, so a table is built eagerly only for grids up to
+:data:`LUT_EAGER_CELLS` cells; larger grids tabulate only when the
+requested batch is big enough to amortize the build
+(``batch * LUT_AMORTIZE >= cells``) or when forced via
+:func:`curve_lut` ``force=True``.  Tables are cached process-wide,
+keyed by the curve's structural identity ``(type, name, dims, sides)``
+-- curve instances are stateless, and transform names encode their
+composition -- so every ``(curve, dims, side)`` pays the enumeration
+exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SpaceFillingCurve
+from .transforms import GluedCurve
+
+#: Hard cap on tabulated grid cells (8 MiB of uint64 per table).
+LUT_MAX_CELLS = 1 << 20
+
+#: Grids up to this many cells are tabulated on first batch use.
+LUT_EAGER_CELLS = 1 << 16
+
+#: Above the eager bound, tabulate when batch * this >= cells.
+LUT_AMORTIZE = 32
+
+
+@dataclass
+class LutStats:
+    """Process-wide table accounting (operation-count invariants)."""
+
+    builds: int = 0
+    hits: int = 0
+    cells: int = 0
+
+    def reset(self) -> None:
+        self.builds = 0
+        self.hits = 0
+        self.cells = 0
+
+
+#: Global build/hit counters, checked by the benchmark invariants.
+LUT_STATS = LutStats()
+
+_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def grid_sides(curve: SpaceFillingCurve) -> tuple[int, ...]:
+    """Per-dimension grid extents (rectangular for glued curves)."""
+    sides = [curve.side] * curve.dims
+    if isinstance(curve, GluedCurve):
+        sides[curve.axis] = curve.axis_side
+    return tuple(sides)
+
+
+def _cell_count(curve: SpaceFillingCurve) -> int:
+    """Total grid cells, without ``len()``'s ssize_t overflow."""
+    cells = 1
+    for side in grid_sides(curve):
+        cells *= side
+    return cells
+
+
+def _cache_key(curve: SpaceFillingCurve) -> tuple:
+    # Transform names encode their full composition ("sweep[reversed]",
+    # "hilbert[perm=1,0]", ...), so (type, name, dims, sides) pins the
+    # mapping; curve instances carry no other state.
+    return (type(curve).__qualname__, curve.name, curve.dims,
+            grid_sides(curve))
+
+
+def build_lut(curve: SpaceFillingCurve) -> np.ndarray:
+    """Enumerate ``curve`` into a flat point -> index table."""
+    sides = grid_sides(curve)
+    cells = _cell_count(curve)
+    lut = np.empty(cells, dtype=np.uint64)
+    for position in range(cells):
+        point = curve.point(position)
+        flat = 0
+        for coord, side in zip(point, sides):
+            flat = flat * side + coord
+        lut[flat] = position
+    return lut
+
+
+def curve_lut(curve: SpaceFillingCurve, *, batch_rows: int | None = None,
+              force: bool = False) -> np.ndarray | None:
+    """The cached table for ``curve``, or None when out of policy.
+
+    ``batch_rows`` feeds the amortization rule for large grids;
+    ``force=True`` builds regardless (used to pre-warm known-hot
+    curves, e.g. the scheduler's stage-1 grid).
+    """
+    cells = _cell_count(curve)
+    if cells > LUT_MAX_CELLS:
+        return None
+    key = _cache_key(curve)
+    lut = _CACHE.get(key)
+    if lut is not None:
+        LUT_STATS.hits += 1
+        return lut
+    if not force and cells > LUT_EAGER_CELLS:
+        if batch_rows is None or batch_rows * LUT_AMORTIZE < cells:
+            return None
+    lut = build_lut(curve)
+    _CACHE[key] = lut
+    LUT_STATS.builds += 1
+    LUT_STATS.cells += cells
+    return lut
+
+
+def lut_gather(lut: np.ndarray, curve: SpaceFillingCurve,
+               pts: np.ndarray) -> np.ndarray:
+    """Curve positions of ``pts`` (validated uint64 rows) via ``lut``."""
+    sides = grid_sides(curve)
+    flat = np.zeros(len(pts), dtype=np.uint64)
+    for k, side in enumerate(sides):
+        flat = flat * np.uint64(side) + pts[:, k]
+    return lut[flat]
+
+
+def has_lut_path(curve: SpaceFillingCurve) -> bool:
+    """True when ``batch_index`` may serve ``curve`` from a table."""
+    return _cell_count(curve) <= LUT_MAX_CELLS
+
+
+def clear_lut_cache() -> None:
+    """Drop every cached table (tests and memory pressure)."""
+    _CACHE.clear()
+
+
+def cached_lut_count() -> int:
+    """Number of tables currently cached."""
+    return len(_CACHE)

@@ -153,6 +153,11 @@ class GluedCurve(SpaceFillingCurve):
         return self._copies
 
     @property
+    def axis(self) -> int:
+        """The glued dimension."""
+        return self._axis
+
+    @property
     def axis_side(self) -> int:
         """Grid side along the glued axis."""
         return self._copies * self._base.side

@@ -8,7 +8,10 @@ hot path.  ``batch_index`` computes the curve position of a whole
 * Sweep / C-Scan / Scan (boustrophedon): pure arithmetic;
 * Gray: vectorized bit interleave + Gray decode;
 * Hilbert: vectorized Skilling transpose;
-* anything else (Spiral, Diagonal, Peano, transforms): a scalar
+* Spiral / Diagonal / Peano / transforms on bounded grids: a
+  precomputed point -> index table (:mod:`repro.sfc.lut`), one numpy
+  gather per batch;
+* anything else (unbounded grids, out-of-policy batches): a scalar
   fallback loop over the rows, so the API is total.
 
 Vectorized paths require the index to fit in 64 bits
@@ -24,19 +27,36 @@ import numpy as np
 from .base import SpaceFillingCurve, is_power_of
 from .gray import GrayCurve
 from .hilbert import HilbertCurve
+from .lut import curve_lut, grid_sides, lut_gather
 from .scan import ScanCurve
 from .sweep import CScanCurve, SweepCurve
 
 
-def _as_points(points: np.ndarray, dims: int, side: int) -> np.ndarray:
+def _as_points(points: np.ndarray,
+               curve: SpaceFillingCurve) -> np.ndarray:
     array = np.asarray(points)
-    if array.ndim != 2 or array.shape[1] != dims:
+    if array.ndim != 2 or array.shape[1] != curve.dims:
         raise ValueError(
-            f"points must have shape (n, {dims}), got {array.shape}"
+            f"points must have shape (n, {curve.dims}), got {array.shape}"
         )
-    if array.size and (array.min() < 0 or array.max() >= side):
-        raise ValueError(f"coordinates outside [0, {side})")
-    return array.astype(np.uint64, copy=True)
+    sides = grid_sides(curve)
+    if array.size:
+        if min(sides) == max(sides):
+            if array.min() < 0 or array.max() >= sides[0]:
+                raise ValueError(f"coordinates outside [0, {sides[0]})")
+        else:
+            # Rectangular grid (glued transforms): per-dimension bounds.
+            for k, side in enumerate(sides):
+                column = array[:, k]
+                if column.min() < 0 or column.max() >= side:
+                    raise ValueError(
+                        f"coordinates outside [0, {side}) in dim {k}"
+                    )
+    if array.dtype == np.uint64:
+        # Already the working dtype: no per-batch allocation.  Paths
+        # that mutate rows copy for themselves (see the Hilbert branch).
+        return array
+    return array.astype(np.uint64)
 
 
 def _fits_uint64(dims: int, side: int) -> bool:
@@ -85,7 +105,7 @@ def _gray_decode_batch(code: np.ndarray) -> np.ndarray:
 
 def _hilbert_transpose_batch(pts: np.ndarray, order: int) -> np.ndarray:
     dims = pts.shape[1]
-    x = pts  # mutated in place (already a private copy)
+    x = pts  # mutated in place (callers pass a private copy)
     m = 1 << (order - 1)
     q = m
     while q > 1:
@@ -117,9 +137,10 @@ def batch_index(curve: SpaceFillingCurve,
 
     Bit-identical to calling ``curve.index`` per row; uses a fully
     vectorized path for Sweep/C-Scan/Scan/Gray/Hilbert grids whose
-    indexes fit in 64 bits.
+    indexes fit in 64 bits, and a cached lookup table
+    (:mod:`repro.sfc.lut`) for every other curve on bounded grids.
     """
-    pts = _as_points(points, curve.dims, curve.side)
+    pts = _as_points(points, curve)
     if len(pts) == 0:
         return np.zeros(0, dtype=np.uint64)
 
@@ -138,11 +159,18 @@ def batch_index(curve: SpaceFillingCurve,
         return _gray_decode_batch(word)
     if isinstance(curve, HilbertCurve) and _fits_uint64(curve.dims,
                                                         curve.side):
-        transpose = _hilbert_transpose_batch(pts, curve.order)
+        transpose = _hilbert_transpose_batch(pts.copy(), curve.order)
         return _interleave_batch(transpose, curve.order)
 
-    # Total fallback: scalar loop (Spiral, Diagonal, Peano, transforms,
-    # or indexes wider than 64 bits).
+    # Table tier: Spiral, Diagonal, Peano and transforms on bounded
+    # grids become a single gather against the cached point -> index
+    # table (built once per curve shape).
+    lut = curve_lut(curve, batch_rows=len(pts))
+    if lut is not None:
+        return lut_gather(lut, curve, pts)
+
+    # Total fallback: scalar loop (out-of-policy grids, or indexes
+    # wider than 64 bits).
     out = np.empty(len(pts), dtype=object)
     for i, row in enumerate(points):
         out[i] = curve.index(tuple(int(c) for c in row))

@@ -136,7 +136,8 @@ class _ArrayState:
                  logical_metrics: MetricsCollector, *,
                  plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 spare: _MemberDisk | None = None) -> None:
+                 spare: _MemberDisk | None = None,
+                 recharacterize_every_ms: float | None = None) -> None:
         self.members = members
         self.raid = raid
         self.queue = queue
@@ -157,6 +158,36 @@ class _ArrayState:
         self.tallies = _FaultTallies()
         self._next_physical_id = 0
         self.failed_disk: int | None = None  # static (legacy) failure
+        self.recharacterize_every_ms = recharacterize_every_ms
+        self._refresh_armed = False
+
+    # -- periodic re-characterization -------------------------------------
+
+    def _all_members(self) -> list[_MemberDisk]:
+        return self.members + ([self.spare] if self.spare else [])
+
+    def _arm_refresh(self) -> None:
+        if self.recharacterize_every_ms is None or self._refresh_armed:
+            return
+        self._refresh_armed = True
+        self.queue.schedule(
+            self.queue.now + self.recharacterize_every_ms, self._refresh
+        )
+
+    def _refresh(self) -> None:
+        """Re-key every member's queue to the current clock and arm."""
+        self._refresh_armed = False
+        pending = False
+        for member in self._all_members():
+            recharacterize = getattr(member.scheduler, "recharacterize",
+                                     None)
+            if len(member.scheduler) and recharacterize is not None:
+                recharacterize(self.queue.now, member.disk.head_cylinder)
+                self.dispatch(member)
+            if len(member.scheduler):
+                pending = True
+        if pending:
+            self._arm_refresh()
 
     # -- failure state ----------------------------------------------------
 
@@ -241,6 +272,8 @@ class _ArrayState:
         member.scheduler.submit(physical, self.queue.now,
                                 member.disk.head_cylinder)
         self.dispatch(member)
+        if len(member.scheduler):
+            self._arm_refresh()
 
     def _finish_logical(self, logical_id: int) -> None:
         request = self.logical.pop(logical_id, None)
@@ -438,6 +471,7 @@ def run_array_simulation(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     rebuild: RebuildConfig | None = None,
+    recharacterize_every_ms: float | None = None,
 ) -> ArrayResult:
     """Replay logical block requests against a RAID-5 array.
 
@@ -456,7 +490,14 @@ def run_array_simulation(
     ``retry_policy``.  ``rebuild`` additionally injects paced hot-spare
     rebuild traffic through the member schedulers after each failure
     window opens.
+
+    ``recharacterize_every_ms`` periodically re-keys every member's
+    queue to the current clock and head position (schedulers without a
+    ``recharacterize`` method are left alone).  Off by default so the
+    pinned fault-injection benchmarks stay bit-identical.
     """
+    if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
+        raise ValueError("recharacterize_every_ms must be positive")
     raid = raid or Raid5Array(disks=5)
     if failed_disk is not None and not 0 <= failed_disk < raid.disks:
         raise ValueError(f"failed_disk {failed_disk} out of range")
@@ -487,7 +528,8 @@ def run_array_simulation(
 
     state = _ArrayState(array_members, raid, queue, block_to_cylinder,
                         logical_metrics, plan=fault_plan,
-                        retry_policy=retry_policy, spare=spare)
+                        retry_policy=retry_policy, spare=spare,
+                        recharacterize_every_ms=recharacterize_every_ms)
     state.failed_disk = failed_disk
     if rebuild is not None:
         state.schedule_rebuild(rebuild, dims, priority_levels)

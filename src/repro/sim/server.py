@@ -63,7 +63,9 @@ def run_simulation(requests: Sequence[DiskRequest],
                    stop_at_ms: float | None = None,
                    priority_dims: int | None = None,
                    priority_levels: int = 16,
-                   record_timeline: bool = False) -> SimulationResult:
+                   record_timeline: bool = False,
+                   recharacterize_every_ms: float | None = None
+                   ) -> SimulationResult:
     """Simulate serving ``requests`` (sorted by arrival) with ``scheduler``.
 
     Parameters
@@ -83,14 +85,23 @@ def run_simulation(requests: Sequence[DiskRequest],
     record_timeline:
         When True, the result carries one :class:`TimelineEntry` per
         dispatch (including drops) for debugging and visualization.
+    recharacterize_every_ms:
+        When set, the queue is periodically re-keyed to the *current*
+        clock and head position via ``scheduler.recharacterize`` (a
+        no-op for schedulers without one).  Off by default: the paper's
+        baseline characterizes at insertion only, and the pinned golden
+        traces assume that.
     """
+    if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
+        raise ValueError("recharacterize_every_ms must be positive")
     ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
     if priority_dims is None:
         priority_dims = len(ordered[0].priorities) if ordered else 0
     metrics = MetricsCollector(priority_dims, priority_levels)
 
     queue = EventQueue()
-    state = _ServerState(scheduler, service, metrics, queue, drop_expired)
+    state = _ServerState(scheduler, service, metrics, queue, drop_expired,
+                         recharacterize_every_ms=recharacterize_every_ms)
     if record_timeline:
         state.timeline = []
 
@@ -120,7 +131,8 @@ class _ServerState:
 
     def __init__(self, scheduler: Scheduler, service: ServiceModel,
                  metrics: MetricsCollector, queue: EventQueue,
-                 drop_expired: bool) -> None:
+                 drop_expired: bool, *,
+                 recharacterize_every_ms: float | None = None) -> None:
         self.scheduler = scheduler
         self.service = service
         self.metrics = metrics
@@ -128,6 +140,20 @@ class _ServerState:
         self.drop_expired = drop_expired
         self.busy = False
         self.timeline: list[TimelineEntry] | None = None
+        self.recharacterize_every_ms = recharacterize_every_ms
+        self._refresh_armed = False
+
+    def arm_refresh(self) -> None:
+        """Schedule the next periodic re-characterization (at most one
+        outstanding, and only while the scheduler holds work -- so the
+        event queue still drains)."""
+        if (self.recharacterize_every_ms is None or self._refresh_armed
+                or getattr(self.scheduler, "recharacterize", None) is None):
+            return
+        self._refresh_armed = True
+        self.queue.schedule(
+            self.queue.now + self.recharacterize_every_ms, _Refresh(self)
+        )
 
     def try_dispatch(self) -> None:
         """Start serving the scheduler's next pick if the disk is free."""
@@ -175,6 +201,26 @@ class _Arrival:
         state.scheduler.submit(self._request, state.queue.now,
                                state.service.head_cylinder)
         state.try_dispatch()
+        if len(state.scheduler):
+            state.arm_refresh()
+
+
+class _Refresh:
+    """Periodic re-characterization event (opt-in hot path)."""
+
+    def __init__(self, state: _ServerState) -> None:
+        self._state = state
+
+    def __call__(self) -> None:
+        state = self._state
+        state._refresh_armed = False
+        if len(state.scheduler):
+            state.scheduler.recharacterize(  # type: ignore[attr-defined]
+                state.queue.now, state.service.head_cylinder
+            )
+            state.try_dispatch()
+            if len(state.scheduler):
+                state.arm_refresh()
 
 
 class _Completion:
