@@ -7,7 +7,7 @@
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-quick bench bench-quick bench-baseline experiments \
-	experiments-quick serve-demo faults-demo coverage loc
+	experiments-quick serve-demo faults-demo obs-demo coverage loc
 
 test:
 	$(PYTHONPATH_SRC) pytest tests/
@@ -39,6 +39,10 @@ serve-demo:
 
 faults-demo:
 	$(PYTHONPATH_SRC) python -m repro.experiments faults --quick
+
+# Observed serve ramp: spans (JSONL + Perfetto), metrics, profiling.
+obs-demo:
+	$(PYTHONPATH_SRC) python -m repro.experiments obs --quick
 
 # Needs pytest-cov (pip install -e .[test]).
 coverage:

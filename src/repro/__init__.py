@@ -12,6 +12,10 @@ observability (the front-end the paper's PanaViss setting presumes),
 and :mod:`repro.faults` adds deterministic fault injection (latency
 spikes, transient errors, disk failures, thermal slowdown) so the
 schedulers can be compared under identical hardware trouble.
+:mod:`repro.obs` unifies observability: request-lifecycle spans, a
+metrics registry with Prometheus/JSON exporters, and profiling hooks,
+all switched on by passing one :class:`~repro.obs.Observer` to any
+entry point (the default ``NULL_OBSERVER`` costs nothing).
 
 Quick start::
 
@@ -36,6 +40,7 @@ from .core import (
     EncodeContext,
 )
 from .disk import DiskModel, make_xp32150_disk
+from .obs import NULL_OBSERVER, Observer
 from .schedulers import Scheduler, make_baseline
 from .serve import (
     AdmissionDecision,
@@ -76,6 +81,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "LatencySpike",
+    "NULL_OBSERVER",
+    "Observer",
     "RetryPolicy",
     "Scheduler",
     "ThermalRamp",

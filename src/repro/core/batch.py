@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.profile import instrumented
+
 from .encapsulator import (
     Encapsulator,
     EncodeContext,
@@ -27,6 +29,7 @@ from .encapsulator import (
 from .request import DiskRequest
 
 
+@instrumented("characterize_batch")
 def characterize_batch(encapsulator: Encapsulator,
                        requests: Sequence[DiskRequest],
                        ctx: EncodeContext) -> np.ndarray:

@@ -32,6 +32,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Iterable, Iterator
 
+from repro.obs.observer import Observer, live
 from repro.util.priority_queue import IndexedPriorityQueue
 
 from .request import DiskRequest
@@ -41,6 +42,23 @@ class Dispatcher(ABC):
     """Priority-queue management strategy for characterization values."""
 
     name: str = "abstract"
+
+    #: Live observer (None = observability off; see repro.obs).  The
+    #: dispatcher layer is clock-free, so hooks use the observer's
+    #: ``now_ms`` stamp set by the time-aware scheduler above it.
+    _obs: Observer | None = None
+
+    def bind_observer(self, observer: Observer | None) -> None:
+        """Attach a lifecycle observer (normalized via live())."""
+        self._obs = live(observer)
+
+    def stats(self) -> dict[str, float]:
+        """Operation counters for the metrics registry (pull-style).
+
+        Keys ending in ``_total`` register as counters, the rest as
+        gauges.  Subclasses extend with their queue and policy tallies.
+        """
+        return {}
 
     @abstractmethod
     def insert(self, request: DiskRequest, vc: float) -> None:
@@ -86,12 +104,20 @@ class FullyPreemptiveDispatcher(Dispatcher):
     def insert(self, request: DiskRequest, vc: float) -> None:
         self._queue.push(request.request_id, vc)
         self._requests[request.request_id] = request
+        if self._obs is not None:
+            self._obs.on_enqueue(request, "q")
 
     def pop(self) -> DiskRequest | None:
         if not self._queue:
             return None
         request_id, _vc = self._queue.pop()
         return self._requests.pop(request_id)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "heapify_total": self._queue.heapify_count,
+            "compaction_total": self._queue.compaction_count,
+        }
 
     def pending(self) -> Iterator[DiskRequest]:
         return iter(list(self._requests.values()))
@@ -142,6 +168,9 @@ class NonPreemptiveDispatcher(Dispatcher):
         target = self._active if self._round_open else self._waiting
         target.push(request.request_id, vc)
         self._requests[request.request_id] = request
+        if self._obs is not None:
+            self._obs.on_enqueue(request,
+                                 "q" if self._round_open else "q'")
 
     def pop(self) -> DiskRequest | None:
         if not self._active:
@@ -168,6 +197,15 @@ class NonPreemptiveDispatcher(Dispatcher):
     def rekey_batch(self, pairs: Iterable[tuple[DiskRequest, float]]
                     ) -> int:
         return _rekey_two_queues(self._active, self._waiting, pairs)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "heapify_total": (self._active.heapify_count
+                              + self._waiting.heapify_count),
+            "compaction_total": (self._active.compaction_count
+                                 + self._waiting.compaction_count),
+            "waiting_depth": len(self._waiting),
+        }
 
 
 class ConditionallyPreemptiveDispatcher(Dispatcher):
@@ -219,17 +257,28 @@ class ConditionallyPreemptiveDispatcher(Dispatcher):
         return self._promotions
 
     def insert(self, request: DiskRequest, vc: float) -> None:
+        obs = self._obs
         if self._current_vc is None:
             # Disk idle / between rounds: everything joins the active queue.
             self._active.push(request.request_id, vc)
+            if obs is not None:
+                obs.on_enqueue(request, "q")
         elif vc < self._current_vc - self._window:
             # Significantly higher priority: preempt the service round.
             self._active.push(request.request_id, vc)
             self._preemptions += 1
+            if obs is not None:
+                obs.on_enqueue(request, "q")
+                obs.on_preempt_insert(request, self._window)
             if self._expansion is not None:
                 self._window *= self._expansion
+                if obs is not None:
+                    obs.on_window(request.request_id, self._window,
+                                  "expand")
         else:
             self._waiting.push(request.request_id, vc)
+            if obs is not None:
+                obs.on_enqueue(request, "q'")
         self._requests[request.request_id] = request
 
     def pop(self) -> DiskRequest | None:
@@ -243,6 +292,10 @@ class ConditionallyPreemptiveDispatcher(Dispatcher):
         request_id, vc = self._active.pop()
         self._current_vc = float(vc)  # type: ignore[arg-type]
         if self._expansion is not None:
+            if (self._obs is not None
+                    and self._window != self._base_window):
+                self._obs.on_window(request_id, self._base_window,
+                                    "reset")
             self._window = self._base_window  # ER reset on normal dispatch
         return self._requests.pop(request_id)
 
@@ -270,6 +323,9 @@ class ConditionallyPreemptiveDispatcher(Dispatcher):
         if promoted:
             self._active.push_batch(promoted)
             self._promotions += len(promoted)
+            if self._obs is not None:
+                for request_id, vc in promoted:
+                    self._obs.on_promote(request_id, vc)
 
     def pending(self) -> Iterator[DiskRequest]:
         return iter(list(self._requests.values()))
@@ -293,6 +349,18 @@ class ConditionallyPreemptiveDispatcher(Dispatcher):
         "preemption happens on arrival, promotion on dispatch" split.
         """
         return _rekey_two_queues(self._active, self._waiting, pairs)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "preemptions_total": self._preemptions,
+            "promotions_total": self._promotions,
+            "window": self._window,
+            "heapify_total": (self._active.heapify_count
+                              + self._waiting.heapify_count),
+            "compaction_total": (self._active.compaction_count
+                                 + self._waiting.compaction_count),
+            "waiting_depth": len(self._waiting),
+        }
 
 
 def window_from_fraction(fraction: float, vc_cells: int) -> float:

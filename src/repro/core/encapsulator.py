@@ -472,3 +472,38 @@ class Encapsulator:
                 and self._stage3 is None):
             return request.arrival_ms
         return value
+
+    def characterize_detailed(
+            self, request: DiskRequest, ctx: EncodeContext
+    ) -> tuple[float, tuple[tuple[str, float], ...]]:
+        """Like :meth:`characterize`, also returning per-stage scalars.
+
+        The observability slow path: ``(v_c, ((stage, scalar), ...))``
+        with one entry per enabled stage, so a request's span records
+        *which* cascade stage produced which intermediate value.  The
+        final value is always identical to :meth:`characterize` (the
+        differential tests pin this); the hot path never calls this.
+        """
+        stages: list[tuple[str, float]] = []
+        value: float = 0
+        cells: int = 1
+        if self._stage1 is not None:
+            value = self._stage1.encode(request.priorities)
+            cells = self._stage1.output_cells
+            stages.append(("stage1_priority", float(value)))
+        if self._stage2 is not None:
+            value = self._stage2.encode(
+                value, cells, request.deadline_ms, ctx.now_ms
+            )
+            cells = self._stage2.output_cells
+            stages.append(("stage2_deadline", float(value)))
+        if self._stage3 is not None:
+            if isinstance(self._stage2, WeightedDeadlineStage):
+                value = self._stage2.relative(value, ctx.now_ms)
+            value = self._stage3.encode(
+                value, cells, request.cylinder, ctx.head_cylinder
+            )
+            stages.append(("stage3_seek", float(value)))
+        if not stages:
+            return request.arrival_ms, ()
+        return value, tuple(stages)

@@ -101,6 +101,19 @@ class CascadedSFCScheduler(Scheduler):
         self._dispatcher = build_dispatcher(
             config, self._encapsulator.output_cells
         )
+        self._obs = None
+
+    def bind_observer(self, observer) -> None:
+        """Record characterization and queue movements on ``observer``.
+
+        Forwards to the dispatcher so enqueue/preempt/promote/window
+        events are traced too.  With an active observer, submissions
+        take the detailed (per-stage) characterization path; v_c values
+        are identical to the fast path.
+        """
+        from repro.obs.observer import live
+        self._obs = live(observer)
+        self._dispatcher.bind_observer(observer)
 
     @property
     def config(self) -> CascadedSFCConfig:
@@ -122,7 +135,14 @@ class CascadedSFCScheduler(Scheduler):
 
     def submit(self, request: DiskRequest, now: float,
                head_cylinder: int) -> None:
-        vc = self.characterize(request, now, head_cylinder)
+        obs = self._obs
+        if obs is not None:
+            ctx = EncodeContext(now_ms=now, head_cylinder=head_cylinder)
+            vc, stages = self._encapsulator.characterize_detailed(
+                request, ctx)
+            obs.on_characterize(request, now, stages, vc)
+        else:
+            vc = self.characterize(request, now, head_cylinder)
         self._dispatcher.insert(request, vc)
 
     def submit_batch(self, requests: Sequence[DiskRequest], now: float,
@@ -132,8 +152,14 @@ class CascadedSFCScheduler(Scheduler):
         Semantically identical to calling :meth:`submit` in order
         (Section 6's bursty arrivals); the characterization values are
         computed for the whole batch at once (see
-        :mod:`repro.core.batch`).
+        :mod:`repro.core.batch`).  With an active observer this falls
+        back to per-request submits so each span records its stage
+        scalars — same v_c values, observability trades the speed.
         """
+        if self._obs is not None:
+            for request in requests:
+                self.submit(request, now, head_cylinder)
+            return
         from .batch import characterize_batch
         ctx = EncodeContext(now_ms=now, head_cylinder=head_cylinder)
         values = characterize_batch(self._encapsulator, requests, ctx)
@@ -155,6 +181,8 @@ class CascadedSFCScheduler(Scheduler):
         Returns the number of requests whose v_c changed.
         """
         from .batch import characterize_batch
+        if self._obs is not None:
+            self._obs.now_ms = now
         requests = list(self._dispatcher.pending())
         if not requests:
             return 0
@@ -172,6 +200,8 @@ class CascadedSFCScheduler(Scheduler):
 
     def next_request(self, now: float, head_cylinder: int
                      ) -> DiskRequest | None:
+        if self._obs is not None:
+            self._obs.now_ms = now
         return self._dispatcher.pop()
 
     def pending(self) -> Iterator[DiskRequest]:

@@ -20,10 +20,11 @@ CI-sized instance.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.core.config import CascadedSFCConfig
 from repro.core.encapsulator import EncodeContext
 from repro.core.batch import characterize_batch
 from repro.core.scheduler import CascadedSFCScheduler
+from repro.obs import NULL_OBSERVER, Observer
 from repro.sfc import get_curve
 from repro.sfc.lut import LUT_STATS, clear_lut_cache, curve_lut
 from repro.sfc.vectorized import batch_index
@@ -304,12 +306,106 @@ def bench_recharacterize(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
     )
 
 
+def bench_observability(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """The observability-overhead gate (see ``repro.obs``).
+
+    Three invariants keep the default-off contract honest:
+
+    * passing :data:`~repro.obs.NULL_OBSERVER` costs under 2% against
+      not passing an observer at all (it normalizes to the same
+      ``None`` hot path; a small absolute floor absorbs timer noise on
+      quick runs),
+    * a fully *enabled* observer changes no simulation outcome
+      (identical served/missed/inversion tallies), and
+    * the pinned golden serve trace replays byte-identically both with
+      the default observer and with a live one — observability must
+      never perturb a scheduling decision.
+
+    The enabled-mode slowdown is recorded in the report for tracking
+    but not gated (recording genuinely costs time).
+    """
+    requests = _workload(spec, spec.sim_requests)
+
+    def run(observer: Observer | None):
+        return run_simulation(requests, _scheduler("spiral"),
+                              constant_service(2.0), priority_levels=16,
+                              observer=observer)
+
+    repeats = max(spec.repeats, 3)
+    disabled_s, plain = _best_of(lambda: run(None), repeats)
+    null_s, nulled = _best_of(lambda: run(NULL_OBSERVER), repeats)
+    enabled_s, observed = _best_of(lambda: run(Observer()), repeats)
+    disabled_overhead = (null_s / disabled_s - 1.0
+                         if disabled_s > 0 else 0.0)
+    enabled_overhead = (enabled_s / disabled_s - 1.0
+                        if disabled_s > 0 else 0.0)
+
+    def tallies(result):
+        return (result.metrics.served, result.metrics.dropped,
+                result.metrics.missed, result.inversions)
+
+    invariants = {
+        "obs.disabled_overhead_lt_2pct": (
+            null_s <= disabled_s * 1.02 + 0.002
+        ),
+        "obs.enabled_same_metrics": tallies(observed) == tallies(plain),
+        "obs.null_same_metrics": tallies(nulled) == tallies(plain),
+    }
+
+    # The pinned golden serve trace (skipped when not run from a repo
+    # checkout — CI and `make bench` always are).
+    golden_path = "tests/golden/serve_trace.txt"
+    golden_status = "absent"
+    if os.path.exists(golden_path):
+        from repro.experiments.faults_scenario import serialize_trace
+        from repro.experiments.serve_demo import (
+            ServeSpec,
+            build_server,
+            ramp_events,
+        )
+        from repro.serve import run_ramp_online
+
+        golden_spec = replace(ServeSpec(), max_users=10,
+                              user_interval_ms=400.0, tail_ms=3_000.0,
+                              seed=77)
+
+        def serve_trace(observer: Observer | None) -> bytes:
+            server = build_server(golden_spec, sink=lambda line: None,
+                                  observer=observer)
+            run_ramp_online(server, ramp_events(golden_spec),
+                            golden_spec.until_ms)
+            return serialize_trace(server)
+
+        with open(golden_path, "rb") as fh:
+            golden = fh.read().rstrip(b"\n")
+        default_identical = serve_trace(None) == golden
+        observed_identical = serve_trace(Observer()) == golden
+        invariants["obs.golden_trace_default_identical"] = default_identical
+        invariants["obs.golden_trace_observed_identical"] = observed_identical
+        golden_status = "checked"
+
+    return (
+        {
+            "requests": spec.sim_requests,
+            "disabled_s": disabled_s,
+            "null_observer_s": null_s,
+            "enabled_s": enabled_s,
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+            "speedup": 1.0 + disabled_overhead,  # tracked, ~1.0 by design
+            "golden_trace": golden_status,
+        },
+        invariants,
+    )
+
+
 SECTIONS = (
     ("curve_batch", bench_curve_batch),
     ("characterize", bench_characterize),
     ("queue", bench_queue),
     ("end_to_end", bench_end_to_end),
     ("recharacterize", bench_recharacterize),
+    ("observability", bench_observability),
 )
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments run all [--quick]
     python -m repro.experiments serve [--quick] [--policy reservation]
     python -m repro.experiments bench [--quick] [--out FILE]
+    python -m repro.experiments obs [--quick] [--out-dir DIR]
 """
 
 from __future__ import annotations
@@ -172,6 +173,30 @@ def run_bench(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def run_obs(args) -> int:
+    """Observed serve ramp with span/metric exports (`obs` subcommand)."""
+    from . import obs_demo
+
+    spec = obs_demo.ObsSpec(out_dir=args.out_dir)
+    if args.quick:
+        spec = spec.quick()
+    started = time.perf_counter()
+    print("=== obs: request-lifecycle tracing, metrics, and profiling "
+          f"({'quick' if args.quick else 'full'})")
+    result = obs_demo.run(spec)
+    print(result.report)
+    print()
+    for path in result.paths:
+        print(f"wrote {path}")
+    if result.violations:
+        print(f"INVALID: {len(result.violations)} span-contract "
+              "violations")
+        for violation in result.violations[:10]:
+            print(f"  - {violation}")
+    print(f"--- obs done in {time.perf_counter() - started:.1f}s")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -225,6 +250,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the JSON report (default: "
                              "BENCH_PR3.json for full runs, skipped "
                              "under --quick; use '' to skip)")
+    obsp = sub.add_parser(
+        "obs",
+        help="observed serve ramp: lifecycle spans, metrics, profiling",
+    )
+    obsp.add_argument("--quick", action="store_true",
+                      help="CI-sized ramp (same validation)")
+    obsp.add_argument("--out-dir", metavar="DIR", default="results",
+                      help="export directory for spans/trace/metrics "
+                           "(default: results)")
     args = parser.parse_args(argv)
     if getattr(args, "out", None) == "":
         args.out = None
@@ -244,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         print("serve    online admission-controlled streaming ramp")
         print("faults   schedulers under an identical fault schedule")
         print("bench    hot-path benchmark baseline (invariant-checked)")
+        print("obs      observed serve ramp (spans, metrics, profiling)")
         return 0
 
     if args.command == "serve":
@@ -254,6 +289,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "bench":
         return run_bench(args)
+
+    if args.command == "obs":
+        return run_obs(args)
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:

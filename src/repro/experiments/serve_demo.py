@@ -126,7 +126,7 @@ def ramp_events(spec: ServeSpec) -> list[RampEvent]:
 
 
 def build_server(spec: ServeSpec,
-                 sink=print) -> StreamingServer:
+                 sink=print, *, observer=None) -> StreamingServer:
     """Assemble the serving stack for one ramp run."""
     disk = make_xp32150_disk()
     disk.reset(0)
@@ -144,6 +144,7 @@ def build_server(spec: ServeSpec,
         config=ServerConfig(max_queue=spec.max_queue,
                             priority_levels=LEVELS),
         reporter=reporter,
+        observer=observer,
     )
 
 

@@ -1,0 +1,80 @@
+"""Unified observability layer: tracing, metrics, and profiling.
+
+Three pillars behind one object:
+
+* **Request-lifecycle tracing** (:mod:`repro.obs.span`) — every request
+  gets a :class:`Span` from arrival through characterization (with the
+  per-SFC-stage scalars), queueing (q/q' placement, SP promotions, ER
+  window changes), dispatch, the physical service split, and exactly
+  one terminal outcome; exportable as JSONL and Chrome ``trace_event``
+  JSON (Perfetto-loadable).
+* **Metrics registry** (:mod:`repro.obs.registry`) — named counters,
+  gauges, and fixed-bucket latency histograms with Prometheus text and
+  JSON exposition; components push on the hot path or register pull
+  callbacks for export time.
+* **Profiling hooks** (:mod:`repro.obs.profile`) — ``@instrumented``
+  timers on the hot paths (batch characterization, bulk re-keys, the
+  dispatch loops) that cost one branch when no profiler is active.
+
+Everything hangs off one :class:`Observer` threaded through the
+engine/server/array constructors; the default :data:`NULL_OBSERVER`
+disables all three pillars with measurably-zero overhead (gated by
+``python -m repro.experiments bench``).
+
+Quick start::
+
+    from repro.obs import Observer
+    from repro.sim import run_simulation
+
+    observer = Observer()
+    with observer.profiled():
+        run_simulation(requests, scheduler, service, observer=observer)
+    observer.spans.to_jsonl("spans.jsonl")
+    print(observer.registry.to_prometheus())
+"""
+
+from .observer import NULL_OBSERVER, NullObserver, Observer, live
+from .profile import Profiler, active_profiler, instrumented, profiled
+from .registry import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from .report import miss_attribution, queue_depth_timeline, render_report
+from .span import (
+    SPAN_SCHEMA_VERSION,
+    TERMINAL_PHASES,
+    Span,
+    SpanEvent,
+    SpanLog,
+    validate_jsonl,
+    validate_spans,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "Observer",
+    "Profiler",
+    "Registry",
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanEvent",
+    "SpanLog",
+    "TERMINAL_PHASES",
+    "active_profiler",
+    "instrumented",
+    "live",
+    "miss_attribution",
+    "profiled",
+    "queue_depth_timeline",
+    "render_report",
+    "validate_jsonl",
+    "validate_spans",
+]

@@ -1,0 +1,98 @@
+"""Profiling hooks: cheap opt-in timers on the hot paths.
+
+The third observability pillar.  Hot-path functions are wrapped with
+:func:`instrumented`, which times the call *only while a profiler is
+active* — the disabled path is one module-global load and a branch, so
+decorating ``characterize_batch`` or the dispatch loop costs nothing
+measurable when observability is off (the bench gate in
+``repro.experiments.bench`` pins this).
+
+Activation is process-global and scoped::
+
+    observer = Observer()
+    with observer.profiled():
+        run_simulation(...)          # per-phase timings land in
+                                     # observer.registry histograms
+
+Nesting restores the previous profiler on exit, so tests can layer
+scopes safely.  Timings feed ``phase_<name>_ms`` histograms in the
+active profiler's registry plus a ``phase_<name>_calls_total`` counter.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, TypeVar
+
+from .registry import Registry
+
+F = TypeVar("F", bound=Callable)
+
+#: The active profiler; ``None`` means every @instrumented wrapper is a
+#: straight pass-through.
+_ACTIVE: "Profiler | None" = None
+
+
+class Profiler:
+    """Feeds per-phase wall-clock timings into a metrics registry."""
+
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self._histograms: dict[str, object] = {}
+
+    def observe(self, phase: str, seconds: float) -> None:
+        pair = self._histograms.get(phase)
+        if pair is None:
+            pair = (
+                self.registry.histogram(
+                    f"phase_{phase}_ms",
+                    f"wall-clock of the {phase} hot path",
+                ),
+                self.registry.counter(
+                    f"phase_{phase}_calls_total",
+                    f"invocations of the {phase} hot path",
+                ),
+            )
+            self._histograms[phase] = pair
+        histogram, counter = pair
+        histogram.observe(seconds * 1000.0)
+        counter.inc()
+
+
+def active_profiler() -> Profiler | None:
+    return _ACTIVE
+
+
+@contextmanager
+def profiled(profiler: Profiler) -> Iterator[Profiler]:
+    """Activate ``profiler`` for the dynamic extent of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous
+
+
+def instrumented(phase: str) -> Callable[[F], F]:
+    """Decorator: time calls under the active profiler (no-op otherwise)."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            profiler = _ACTIVE
+            if profiler is None:
+                return fn(*args, **kwargs)
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                profiler.observe(phase,
+                                 time.perf_counter() - started)
+        wrapper.__instrumented_phase__ = phase  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

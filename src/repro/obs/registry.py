@@ -1,0 +1,266 @@
+"""Metrics registry: named counters, gauges, and latency histograms.
+
+The second observability pillar.  Components obtain instruments from a
+shared :class:`Registry` (``registry.counter("serve_dispatched_total")``)
+and bump them as they work; at export time the registry renders every
+instrument as Prometheus text exposition (:meth:`Registry.to_prometheus`)
+or a JSON snapshot (:meth:`Registry.to_json`).
+
+Design points:
+
+* **Fixed-bucket histograms.**  :class:`Histogram` counts observations
+  into a fixed upper-bound ladder (default: a log-spaced millisecond
+  ladder), so recording is O(buckets) worst case and an export never
+  has to sort raw samples.  Quantiles (p50/p95/p99) are read off the
+  cumulative bucket counts — exact to bucket resolution, which is what
+  an operations dashboard wants.
+* **Collect callbacks.**  Values that live elsewhere (queue depths,
+  ``IndexedPriorityQueue.heapify_count``, dispatcher preemption
+  totals) are pulled at export time: register a callback with
+  :meth:`Registry.on_collect` and refresh gauges inside it, instead of
+  pushing on every mutation.
+* **Stable naming.**  ``snake_case`` with Prometheus conventions:
+  ``*_total`` for counters, ``*_ms`` for millisecond histograms.
+  An optional single-level ``labels`` mapping renders as
+  ``name{key="value"}``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+#: Default latency ladder (ms): sub-ms to minutes, roughly log-spaced.
+DEFAULT_BUCKETS_MS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0,
+    60_000.0,
+)
+
+#: The quantiles the reports surface.
+REPORT_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def _label_suffix(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def set_total(self, total: float) -> None:
+        """Reset-to-snapshot for collect callbacks mirroring an
+        external lifetime tally (must not regress)."""
+        if total < self.value:
+            raise ValueError(
+                f"counter {self.name} cannot regress "
+                f"({total} < {self.value})"
+            )
+        self.value = total
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    name: str
+    help: str = ""
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-count quantiles."""
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS_MS) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("at least one bucket bound required")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` (bucket upper bound; exact to
+        bucket resolution).  0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return bound
+        return float("inf")
+
+    def percentiles(self) -> dict[str, float]:
+        """The report quantiles, keyed ``p50``/``p95``/``p99``."""
+        return {
+            f"p{int(q * 100)}": self.quantile(q)
+            for q in REPORT_QUANTILES
+        }
+
+
+class Registry:
+    """Shared instrument store with idempotent registration.
+
+    Asking for an existing name returns the existing instrument (so
+    components can register lazily without coordinating), but asking
+    for it as a *different* instrument kind is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    def _get(self, name: str, kind: type, factory):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"{name!r} is already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS_MS
+                  ) -> Histogram:
+        return self._get(name, Histogram,
+                         lambda: Histogram(name, help, buckets))
+
+    def on_collect(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` before every export to refresh pulled values."""
+        self._collectors.append(callback)
+
+    def collect(self) -> None:
+        for callback in self._collectors:
+            callback()
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- export ------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        self.collect()
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_fmt(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_fmt(instrument.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                cumulative = 0
+                for bound, bucket in zip(instrument.bounds,
+                                         instrument.bucket_counts):
+                    cumulative += bucket
+                    suffix = _label_suffix({"le": _fmt(bound)})
+                    lines.append(f"{name}_bucket{suffix} {cumulative}")
+                suffix = _label_suffix({"le": "+Inf"})
+                lines.append(f"{name}_bucket{suffix} {instrument.count}")
+                lines.append(f"{name}_sum {_fmt(instrument.sum)}")
+                lines.append(f"{name}_count {instrument.count}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serializable snapshot of every instrument."""
+        self.collect()
+        out: dict[str, object] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "mean": instrument.mean,
+                    **instrument.percentiles(),
+                }
+        return out
+
+    def write_prometheus(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_prometheus())
+        return path
+
+    def write_json(self, path: str) -> str:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+def _fmt(value: float) -> str:
+    """Render numbers the way Prometheus expects (no trailing .0 noise)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

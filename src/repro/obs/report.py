@@ -1,0 +1,165 @@
+"""Human-readable lifecycle report built from one :class:`Observer`.
+
+Three sections, matching the questions the paper's evaluation asks:
+
+* **Per-phase latency** — wait (enqueue -> dispatch), service
+  (dispatch -> terminal), end-to-end response, and every profiled hot
+  path, as count / mean / p50 / p95 / p99 rows read straight off the
+  registry histograms (Section 5.3's seek/latency/transfer split is
+  the service-phase analogue).
+* **Deadline-miss attribution** — every non-``complete`` span is
+  attributed to the lifecycle stage that cost it: shed from the queue,
+  expired before dispatch, abandoned by fault retries, or — for late
+  completions — whichever of queueing and service consumed more of the
+  deadline budget (Sections 5.2/6 report misses per priority level;
+  this answers *where* those misses were manufactured).
+* **Queue-depth timeline** — the observer's depth samples downsampled
+  to a fixed number of buckets (mean/max per bucket).
+
+The module renders plain text only and depends on nothing outside
+:mod:`repro.obs`, so any layer can produce a report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .observer import Observer
+from .registry import Histogram
+from .span import (
+    PHASE_DISPATCH,
+    PHASE_DROP,
+    PHASE_ENQUEUE,
+    PHASE_MISS,
+    Span,
+)
+
+#: Attribution categories, in display order.
+ATTRIBUTION_ORDER = (
+    "queueing", "service", "shed", "expired-in-queue", "fault",
+    "other-drop",
+)
+
+
+def attribute_miss(span: Span) -> str | None:
+    """Which lifecycle stage cost this span its deadline (None = on time).
+
+    Drops map through their recorded reason; late completions compare
+    time spent waiting against time spent in service and blame the
+    larger share.
+    """
+    terminal = span.terminal
+    if terminal is None or terminal.phase not in (PHASE_MISS, PHASE_DROP):
+        return None
+    if terminal.phase == PHASE_DROP:
+        reason = str(terminal.detail.get("reason", ""))
+        if reason == "shed":
+            return "shed"
+        if reason == "expired":
+            return "expired-in-queue"
+        if reason.startswith("fault"):
+            return "fault"
+        return "other-drop"
+    wait = span.duration_between(PHASE_ENQUEUE, PHASE_DISPATCH) or 0.0
+    dispatch = span.first(PHASE_DISPATCH)
+    service = (terminal.time_ms - dispatch.time_ms
+               if dispatch is not None else 0.0)
+    return "queueing" if wait >= service else "service"
+
+
+def miss_attribution(observer: Observer) -> Counter:
+    """Counts of :func:`attribute_miss` over retained closed spans."""
+    counts: Counter = Counter()
+    for span in observer.spans:
+        stage = attribute_miss(span)
+        if stage is not None:
+            counts[stage] += 1
+    return counts
+
+
+def queue_depth_timeline(observer: Observer, buckets: int = 20
+                         ) -> list[tuple[float, float, float]]:
+    """Downsample depth samples to ``(time_ms, mean, max)`` rows."""
+    samples = observer.queue_depth_samples
+    if not samples:
+        return []
+    t0 = samples[0][0]
+    t1 = samples[-1][0]
+    width = max((t1 - t0) / buckets, 1e-9)
+    rows: list[tuple[float, float, float]] = []
+    index = 0
+    for b in range(buckets):
+        end = t0 + (b + 1) * width
+        bucket: list[float] = []
+        while index < len(samples) and (samples[index][0] <= end
+                                        or b == buckets - 1):
+            bucket.append(samples[index][1])
+            index += 1
+        if bucket:
+            rows.append((end, sum(bucket) / len(bucket), max(bucket)))
+    return rows
+
+
+def _table(title: str, headers: tuple[str, ...],
+           rows: list[tuple]) -> str:
+    cells = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+    lines = [title, fmt(headers), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _histogram_row(name: str, histogram: Histogram) -> tuple:
+    pct = histogram.percentiles()
+    return (name, histogram.count, f"{histogram.mean:.3f}",
+            f"{pct['p50']:.3f}", f"{pct['p95']:.3f}",
+            f"{pct['p99']:.3f}")
+
+
+def render_report(observer: Observer) -> str:
+    """The full plain-text lifecycle report."""
+    registry = observer.registry
+    registry.collect()
+
+    latency_rows = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        if isinstance(instrument, Histogram) and instrument.count:
+            latency_rows.append(_histogram_row(name, instrument))
+    sections = [_table(
+        "Per-phase latency (ms)",
+        ("phase", "count", "mean", "p50", "p95", "p99"),
+        latency_rows,
+    )]
+
+    outcomes = observer.spans.outcome_counts()
+    attribution = miss_attribution(observer)
+    total_lost = sum(attribution.values())
+    rows = []
+    for stage in ATTRIBUTION_ORDER:
+        count = attribution.get(stage, 0)
+        if count:
+            rows.append((stage, count,
+                         f"{count / total_lost:.1%}" if total_lost else "-"))
+    sections.append(_table(
+        "Deadline-miss attribution by lifecycle stage "
+        f"(complete={outcomes.get('complete', 0)} "
+        f"miss={outcomes.get('miss', 0)} "
+        f"drop={outcomes.get('drop', 0)})",
+        ("stage", "lost", "share"),
+        rows,
+    ))
+
+    timeline = queue_depth_timeline(observer)
+    sections.append(_table(
+        "Queue-depth timeline",
+        ("t_ms", "mean_depth", "max_depth"),
+        [(f"{t:.0f}", f"{mean:.1f}", f"{peak:.0f}")
+         for t, mean, peak in timeline],
+    ))
+    return "\n\n".join(sections)

@@ -50,6 +50,14 @@ class Scheduler(ABC):
         bookkeeping) may override.
         """
 
+    def bind_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` for lifecycle tracing.
+
+        Default does nothing: baselines carry no internal structure
+        worth tracing.  The cascaded scheduler overrides this to record
+        characterization stages and dispatcher queue movements.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r} pending={len(self)}>"
 

@@ -55,7 +55,13 @@ from .clock import Clock, VirtualClock, WallClock
 from .server import ServerConfig, StreamingServer
 from .session import SessionManager, StreamSession, StreamSpec
 from .stats import QoSReporter, ServerStats, StreamQoS, StreamQoSTracker
-from .trace import TRACE_KINDS, TraceEvent, TraceLog
+from .trace import (
+    TRACE_KINDS,
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    TraceLog,
+    known_trace_kinds,
+)
 
 __all__ = [
     "AdmissionDecision",
@@ -79,8 +85,10 @@ __all__ = [
     "StreamSpec",
     "StreamingServer",
     "TRACE_KINDS",
+    "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "TraceLog",
+    "known_trace_kinds",
     "VirtualClock",
     "WallClock",
     "make_admission",

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 from repro.core.request import DiskRequest
 from repro.faults import FaultInjector
+from repro.obs.observer import Observer, live
+from repro.obs.profile import instrumented
 from repro.schedulers.base import Scheduler
 from repro.sim.metrics import MetricsCollector
 from repro.sim.service import ServiceModel
@@ -111,7 +113,8 @@ class StreamingServer:
                  *, clock: Clock | None = None,
                  config: ServerConfig | None = None,
                  reporter: QoSReporter | None = None,
-                 faults: FaultInjector | None = None) -> None:
+                 faults: FaultInjector | None = None,
+                 observer: Observer | None = None) -> None:
         self.scheduler = scheduler
         self.service = service
         self.manager = manager
@@ -123,6 +126,17 @@ class StreamingServer:
         self.trace = TraceLog(capacity=self.config.trace_capacity)
         self.metrics = MetricsCollector(self.config.priority_dims,
                                         self.config.priority_levels)
+        self.obs = live(observer)
+        if self.obs is not None:
+            # The trace log mirrors every serving-layer decision into
+            # the registry; spans get the richer per-request hooks.
+            self.trace.sink = self.obs.on_trace_event
+            scheduler.bind_observer(self.obs)
+            self.obs.watch_scheduler(scheduler)
+            self.metrics.publish_into(self.obs.registry, prefix="serve")
+            if faults is not None:
+                self.obs.watch_faults(faults)
+            self.obs.registry.on_collect(self._publish_server_gauges)
         self.started_ms = self.clock.now_ms()
         # Admission counters.
         self.admitted = 0
@@ -339,12 +353,19 @@ class StreamingServer:
         limit = self._poll_limit()
         if limit == 0:
             return
+        obs = self.obs
         for request in self.manager.poll(now, limit):
             tracker = self._qos.get(request.stream_id)
             if tracker is not None:
                 tracker.on_issue()
+            if obs is not None:
+                obs.on_arrival(request, now)
             self.scheduler.submit(request, now,
                                   self.service.head_cylinder)
+            if obs is not None:
+                obs.ensure_enqueued(request, now)
+        if obs is not None:
+            obs.on_queue_depth(now, self.queue_length())
         if self.config.shed_policy == "lowest-priority":
             self._shed_to_capacity(now)
 
@@ -376,6 +397,8 @@ class StreamingServer:
             self._shed_pending.add(victim.request_id)
             self.preempted += 1
             self.metrics.on_complete(victim, now, dropped=True)
+            if self.obs is not None:
+                self.obs.on_drop(victim, now, "shed")
             tracker = self._qos.get(victim.stream_id)
             if tracker is not None:
                 tracker.on_complete(now, missed=True, served=False)
@@ -421,6 +444,8 @@ class StreamingServer:
                               stream_id=request.stream_id,
                               request_id=request.request_id,
                               detail="fault")
+            if self.obs is not None:
+                self.obs.on_drop(request, now, "fault")
             return "gave_up"
         # The aborted command still occupies the disk briefly; the
         # request itself re-enters the queue after its backoff.
@@ -434,9 +459,11 @@ class StreamingServer:
             _due, _rid, request = heapq.heappop(self._retry_due)
             assert self.faults is not None
             self.faults.note_retry()
+            attempts = self._attempts.get(request.request_id, 0)
+            if self.obs is not None:
+                self.obs.on_requeue(request, now, attempt=attempts + 1)
             self.scheduler.submit(request, now,
                                   self.service.head_cylinder)
-            attempts = self._attempts.get(request.request_id, 0)
             self.trace.record(now, "retry",
                               stream_id=request.stream_id,
                               request_id=request.request_id,
@@ -496,6 +523,7 @@ class StreamingServer:
                                   detail="degrade-mode")
             self.degraded_streams += 1
 
+    @instrumented("dispatch_loop")
     def _dispatch(self, now: float) -> None:
         """Start serving the scheduler's next pick if the disk is free."""
         while self._busy is None:
@@ -521,6 +549,8 @@ class StreamingServer:
                                   stream_id=request.stream_id,
                                   request_id=request.request_id,
                                   detail="expired")
+                if self.obs is not None:
+                    self.obs.on_drop(request, now, "expired")
                 continue
             if self.faults is not None:
                 outcome = self._fault_attempt(request, now)
@@ -544,6 +574,14 @@ class StreamingServer:
             self.trace.record(now, "dispatch",
                               stream_id=request.stream_id,
                               request_id=request.request_id)
+            if self.obs is not None:
+                self.obs.on_dispatch(request, now)
+                self.obs.on_service(
+                    request, now, seek_ms=record.seek_ms,
+                    latency_ms=record.latency_ms,
+                    transfer_ms=total_ms - record.seek_ms
+                    - record.latency_ms,
+                )
             return
 
     def _complete(self) -> None:
@@ -567,6 +605,8 @@ class StreamingServer:
         tracker = self._qos.get(request.stream_id)
         if tracker is not None:
             tracker.on_complete(completion, missed)
+        if self.obs is not None:
+            self.obs.on_complete(request, completion, missed=missed)
         self.trace.record(completion, "complete",
                           stream_id=request.stream_id,
                           request_id=request.request_id)
@@ -577,6 +617,46 @@ class StreamingServer:
                               detail="late")
 
     # -- observability ----------------------------------------------------
+
+    def _publish_server_gauges(self) -> None:
+        """Registry pull: admission and dispatch-path counters.
+
+        Mirrors the :class:`ServerStats` tallies so Prometheus exports
+        reconcile with :meth:`stats` snapshots (a property test pins
+        this against the span-log outcomes too).
+        """
+        assert self.obs is not None
+        registry = self.obs.registry
+        for name, value, help_text in (
+            ("streams_admitted_total", self.admitted, "streams admitted"),
+            ("streams_downgraded_total", self.downgraded,
+             "streams admitted at degraded priority"),
+            ("streams_rejected_total", self.rejected, "streams refused"),
+            ("streams_closed_total", self.closed_streams, "streams ended"),
+            ("requests_dispatched_total", self.dispatched,
+             "requests that started disk service"),
+            ("requests_preempted_total", self.preempted,
+             "queued requests shed under overload"),
+            ("requests_expired_total", self.expired,
+             "requests dropped already-expired at dispatch"),
+            ("fault_failures_total", self.fault_failures,
+             "requests abandoned after exhausting retries"),
+            ("degrade_entries_total", self.degrade_entries,
+             "degraded-mode entries"),
+        ):
+            registry.counter(name, help_text).set_total(float(value))
+        registry.gauge("active_streams",
+                       "currently open streams").set(
+                           self.manager.active_streams)
+        registry.gauge("server_queue_length",
+                       "queued requests eligible for service").set(
+                           self.queue_length())
+        registry.gauge("reserved_utilization",
+                       "sum of admitted utilization shares").set(
+                           self.reserved_utilization)
+        registry.gauge("degraded",
+                       "1 while in degraded mode").set(
+                           1.0 if self.degraded else 0.0)
 
     def stats(self) -> ServerStats:
         """Snapshot the current QoS state."""

@@ -51,9 +51,14 @@ attempt.
 
 from __future__ import annotations
 
+import json
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
+
+#: Version of the :meth:`TraceEvent.as_dict` export schema.  Bump when
+#: a field is added, removed, or changes meaning.
+TRACE_SCHEMA_VERSION = 1
 
 #: The canonical event kinds, in rough lifecycle order.
 TRACE_KINDS = (
@@ -72,6 +77,14 @@ TRACE_KINDS = (
     "degrade_exit",
 )
 
+#: Kinds added at runtime via :meth:`TraceLog.register_kind`.
+_REGISTERED_KINDS: set[str] = set()
+
+
+def known_trace_kinds() -> tuple[str, ...]:
+    """Every currently-valid kind: canonical first, then registered."""
+    return TRACE_KINDS + tuple(sorted(_REGISTERED_KINDS))
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -84,15 +97,17 @@ class TraceEvent:
     detail: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in TRACE_KINDS:
+        if self.kind not in TRACE_KINDS and self.kind not in _REGISTERED_KINDS:
             raise ValueError(
                 f"unknown trace kind {self.kind!r}; "
-                f"expected one of {TRACE_KINDS}"
+                f"expected one of {known_trace_kinds()} "
+                f"(see TraceLog.register_kind)"
             )
 
     def as_dict(self) -> dict[str, object]:
-        """Flat dict form (CSV / JSON-lines export)."""
+        """Flat dict form (CSV / JSON-lines export), schema-versioned."""
         return {
+            "schema_version": TRACE_SCHEMA_VERSION,
             "time_ms": self.time_ms,
             "kind": self.kind,
             "stream_id": self.stream_id,
@@ -112,6 +127,9 @@ class TraceLog:
     """
 
     capacity: int | None = None
+    #: Optional callback invoked with every recorded event (e.g. an
+    #: :meth:`repro.obs.Observer.on_trace_event` bound method).
+    sink: Callable[[TraceEvent], None] | None = None
     _events: deque = field(init=False, repr=False)
     _counts: Counter = field(init=False, repr=False)
 
@@ -121,12 +139,32 @@ class TraceLog:
         self._events = deque(maxlen=self.capacity)
         self._counts = Counter()
 
+    @staticmethod
+    def register_kind(kind: str) -> str:
+        """Register an additional valid event kind.
+
+        Subsystems layered on top of the server (replication, tiering,
+        ...) call this once at import time to trace their own decisions
+        without editing this module.  Canonical kinds stay validated
+        exactly as before; re-registering any known kind is a no-op.
+        Returns ``kind`` so the call doubles as a constant definition::
+
+            KIND_REBALANCE = TraceLog.register_kind("rebalance")
+        """
+        if not kind or not isinstance(kind, str):
+            raise ValueError("trace kind must be a non-empty string")
+        if kind not in TRACE_KINDS:
+            _REGISTERED_KINDS.add(kind)
+        return kind
+
     def record(self, time_ms: float, kind: str, *, stream_id: int = -1,
                request_id: int = -1, detail: str = "") -> TraceEvent:
         """Append one event and bump its kind counter."""
         event = TraceEvent(time_ms, kind, stream_id, request_id, detail)
         self._events.append(event)
         self._counts[kind] += 1
+        if self.sink is not None:
+            self.sink(event)
         return event
 
     def events(self, kind: str | None = None) -> list[TraceEvent]:
@@ -142,6 +180,21 @@ class TraceLog:
     def counts(self) -> dict[str, int]:
         """Lifetime counters for every kind seen so far."""
         return dict(self._counts)
+
+    def to_jsonl(self, path) -> int:
+        """Write retained events as JSON lines; returns lines written.
+
+        Callers previously hand-rolled this export; keep it here so the
+        schema (one :meth:`TraceEvent.as_dict` object per line, sorted
+        keys) has a single owner.
+        """
+        written = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self._events:
+                fh.write(json.dumps(event.as_dict(), sort_keys=True))
+                fh.write("\n")
+                written += 1
+        return written
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)

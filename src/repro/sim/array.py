@@ -39,6 +39,7 @@ from repro.core.request import DiskRequest
 from repro.disk.disk import DiskModel, FILE_BLOCK_BYTES, make_xp32150_disk
 from repro.disk.raid import Raid5Array
 from repro.faults import DiskFailure, FaultPlan, RetryPolicy
+from repro.obs.observer import Observer, live
 from repro.schedulers.base import Scheduler
 
 from .engine import EventQueue
@@ -137,7 +138,8 @@ class _ArrayState:
                  plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
                  spare: _MemberDisk | None = None,
-                 recharacterize_every_ms: float | None = None) -> None:
+                 recharacterize_every_ms: float | None = None,
+                 observer: Observer | None = None) -> None:
         self.members = members
         self.raid = raid
         self.queue = queue
@@ -160,6 +162,10 @@ class _ArrayState:
         self.failed_disk: int | None = None  # static (legacy) failure
         self.recharacterize_every_ms = recharacterize_every_ms
         self._refresh_armed = False
+        #: Traces *logical* request lifecycles; member schedulers are
+        #: watched for stats but not bound (physical ops never reach a
+        #: terminal span phase of their own).
+        self.obs = observer
 
     # -- periodic re-characterization -------------------------------------
 
@@ -206,7 +212,14 @@ class _ArrayState:
         if request.request_id not in self.attempts:
             self.attempts[request.request_id] = 1
             self.epoch[request.request_id] = 0
+        if self.obs is not None:
+            self.obs.on_arrival(request, self.queue.now)
         self._expand(request)
+        if self.obs is not None:
+            self.obs.on_queue_depth(
+                self.queue.now,
+                sum(len(m.scheduler) for m in self._all_members()),
+            )
 
     def _expand(self, request: LogicalRequest) -> None:
         """Expand against the *current* failure state and enqueue ops."""
@@ -283,8 +296,11 @@ class _ArrayState:
         if request is None:
             # Absorbed degraded write: never entered the books.
             return
-        self.logical_metrics.on_complete(_placeholder(request),
-                                         self.queue.now)
+        now = self.queue.now
+        self.logical_metrics.on_complete(_placeholder(request), now)
+        if self.obs is not None:
+            self.obs.on_complete(request, now,
+                                 missed=now > request.deadline_ms)
 
     def _give_up(self, request: LogicalRequest) -> None:
         self.tallies.failed_logical += 1
@@ -294,6 +310,8 @@ class _ArrayState:
         self.epoch.pop(request.request_id, None)
         self.logical_metrics.on_complete(_placeholder(request),
                                          self.queue.now, dropped=True)
+        if self.obs is not None:
+            self.obs.on_drop(request, self.queue.now, "fault")
 
     # -- physical dispatch ------------------------------------------------
 
@@ -385,6 +403,9 @@ class _ArrayState:
             return
         self.attempts[logical_id] = attempt + 1
         self.tallies.retries += 1
+        if self.obs is not None:
+            self.obs.on_requeue(request, self.queue.now,
+                                attempt=attempt + 1)
         due = self.queue.now + self.retry_policy.backoff_for(attempt)
         self.queue.schedule(due, lambda: self._expand(request))
 
@@ -472,6 +493,7 @@ def run_array_simulation(
     retry_policy: RetryPolicy | None = None,
     rebuild: RebuildConfig | None = None,
     recharacterize_every_ms: float | None = None,
+    observer: Observer | None = None,
 ) -> ArrayResult:
     """Replay logical block requests against a RAID-5 array.
 
@@ -495,6 +517,10 @@ def run_array_simulation(
     queue to the current clock and head position (schedulers without a
     ``recharacterize`` method are left alone).  Off by default so the
     pinned fault-injection benchmarks stay bit-identical.
+
+    ``observer`` traces *logical* request lifecycles (arrival, retry
+    re-queues, completion/drop) and pulls per-member dispatcher stats
+    into the registry under ``member<i>_dispatcher_*``; default off.
     """
     if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
         raise ValueError("recharacterize_every_ms must be positive")
@@ -526,10 +552,20 @@ def run_array_simulation(
         return geometry.block_cylinder(min(block, max_block),
                                        FILE_BLOCK_BYTES)
 
+    obs = live(observer)
+    if obs is not None:
+        logical_metrics.publish_into(obs.registry, prefix="array")
+        for member in members:
+            obs.watch_scheduler(
+                member.scheduler,
+                prefix=f"member{member.index}_dispatcher",
+            )
+
     state = _ArrayState(array_members, raid, queue, block_to_cylinder,
                         logical_metrics, plan=fault_plan,
                         retry_policy=retry_policy, spare=spare,
-                        recharacterize_every_ms=recharacterize_every_ms)
+                        recharacterize_every_ms=recharacterize_every_ms,
+                        observer=obs)
     state.failed_disk = failed_disk
     if rebuild is not None:
         state.schedule_rebuild(rebuild, dims, priority_levels)

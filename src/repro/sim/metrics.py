@@ -176,6 +176,45 @@ class MetricsCollector:
         return min(range(self.priority_dims),
                    key=lambda k: self.inversions_by_dim[k])
 
+    # -- observability ----------------------------------------------------
+
+    def publish_into(self, registry, prefix: str = "sim") -> None:
+        """Mirror the collected tallies into a metrics registry.
+
+        Registered as a pull callback so export-time snapshots always
+        reflect the latest counts; ``registry`` is a
+        :class:`repro.obs.Registry`.  Counter names carry ``prefix`` so
+        per-disk collectors in an array can coexist.
+        """
+
+        def pull() -> None:
+            registry.counter(
+                f"{prefix}_served_total",
+                "requests served to completion").set_total(self.served)
+            registry.counter(
+                f"{prefix}_dropped_total",
+                "requests dropped unserved").set_total(self.dropped)
+            registry.counter(
+                f"{prefix}_missed_total",
+                "requests that missed their deadline").set_total(self.missed)
+            registry.counter(
+                f"{prefix}_inversions_total",
+                "priority inversions at dispatch").set_total(
+                    self.total_inversions)
+            registry.gauge(
+                f"{prefix}_seek_ms", "cumulative seek time").set(self.seek_ms)
+            registry.gauge(
+                f"{prefix}_latency_ms",
+                "cumulative rotational latency").set(self.latency_ms)
+            registry.gauge(
+                f"{prefix}_transfer_ms",
+                "cumulative transfer time").set(self.transfer_ms)
+            registry.gauge(
+                f"{prefix}_makespan_ms",
+                "last completion instant").set(self.makespan_ms)
+
+        registry.on_collect(pull)
+
     # -- per-stream (per-user) accounting ---------------------------------
 
     def stream_miss_ratios(self) -> dict[int, float]:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.request import DiskRequest
+from repro.obs.observer import Observer, live
 from repro.schedulers.base import Scheduler
 
 from .engine import EventQueue
@@ -64,7 +65,8 @@ def run_simulation(requests: Sequence[DiskRequest],
                    priority_dims: int | None = None,
                    priority_levels: int = 16,
                    record_timeline: bool = False,
-                   recharacterize_every_ms: float | None = None
+                   recharacterize_every_ms: float | None = None,
+                   observer: Observer | None = None
                    ) -> SimulationResult:
     """Simulate serving ``requests`` (sorted by arrival) with ``scheduler``.
 
@@ -91,6 +93,11 @@ def run_simulation(requests: Sequence[DiskRequest],
         no-op for schedulers without one).  Off by default: the paper's
         baseline characterizes at insertion only, and the pinned golden
         traces assume that.
+    observer:
+        Optional :class:`repro.obs.Observer` recording request-lifecycle
+        spans, registry metrics, and queue-depth samples for this run.
+        Defaults to off (:data:`repro.obs.NULL_OBSERVER` semantics) with
+        no behavioural or measurable timing impact.
     """
     if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
         raise ValueError("recharacterize_every_ms must be positive")
@@ -99,9 +106,16 @@ def run_simulation(requests: Sequence[DiskRequest],
         priority_dims = len(ordered[0].priorities) if ordered else 0
     metrics = MetricsCollector(priority_dims, priority_levels)
 
+    obs = live(observer)
+    if obs is not None:
+        scheduler.bind_observer(obs)
+        obs.watch_scheduler(scheduler)
+        metrics.publish_into(obs.registry)
+
     queue = EventQueue()
     state = _ServerState(scheduler, service, metrics, queue, drop_expired,
-                         recharacterize_every_ms=recharacterize_every_ms)
+                         recharacterize_every_ms=recharacterize_every_ms,
+                         observer=obs)
     if record_timeline:
         state.timeline = []
 
@@ -132,7 +146,8 @@ class _ServerState:
     def __init__(self, scheduler: Scheduler, service: ServiceModel,
                  metrics: MetricsCollector, queue: EventQueue,
                  drop_expired: bool, *,
-                 recharacterize_every_ms: float | None = None) -> None:
+                 recharacterize_every_ms: float | None = None,
+                 observer: Observer | None = None) -> None:
         self.scheduler = scheduler
         self.service = service
         self.metrics = metrics
@@ -142,6 +157,7 @@ class _ServerState:
         self.timeline: list[TimelineEntry] | None = None
         self.recharacterize_every_ms = recharacterize_every_ms
         self._refresh_armed = False
+        self.obs = observer
 
     def arm_refresh(self) -> None:
         """Schedule the next periodic re-characterization (at most one
@@ -164,10 +180,13 @@ class _ServerState:
             if request is None:
                 return
             self.metrics.note_queue_length(len(self.scheduler) + 1)
+            obs = self.obs
             if self.drop_expired and now >= request.deadline_ms:
                 # The data is already useless; drop without disk time.
                 self.metrics.on_complete(request, now, dropped=True)
                 self.scheduler.on_served(request, now)
+                if obs is not None:
+                    obs.on_drop(request, now, "expired")
                 if self.timeline is not None:
                     self.timeline.append(TimelineEntry(
                         request.request_id, now, now,
@@ -178,6 +197,11 @@ class _ServerState:
             record = self.service.serve(request, now)
             self.metrics.on_service(record.seek_ms, record.latency_ms,
                                     record.transfer_ms)
+            if obs is not None:
+                obs.on_dispatch(request, now)
+                obs.on_service(request, now, seek_ms=record.seek_ms,
+                               latency_ms=record.latency_ms,
+                               transfer_ms=record.transfer_ms)
             completion = now + record.total_ms
             if self.timeline is not None:
                 self.timeline.append(TimelineEntry(
@@ -198,8 +222,14 @@ class _Arrival:
 
     def __call__(self) -> None:
         state = self._state
-        state.scheduler.submit(self._request, state.queue.now,
+        now = state.queue.now
+        if state.obs is not None:
+            state.obs.on_arrival(self._request, now)
+        state.scheduler.submit(self._request, now,
                                state.service.head_cylinder)
+        if state.obs is not None:
+            state.obs.ensure_enqueued(self._request, now)
+            state.obs.on_queue_depth(now, len(state.scheduler))
         state.try_dispatch()
         if len(state.scheduler):
             state.arm_refresh()
@@ -236,4 +266,7 @@ class _Completion:
         now = state.queue.now
         state.metrics.on_complete(self._request, now)
         state.scheduler.on_served(self._request, now)
+        if state.obs is not None:
+            state.obs.on_complete(self._request, now,
+                                  missed=now > self._request.deadline_ms)
         state.try_dispatch()

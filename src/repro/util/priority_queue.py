@@ -31,6 +31,8 @@ import heapq
 import itertools
 from typing import Generic, Hashable, Iterable, Iterator, TypeVar
 
+from repro.obs.profile import instrumented
+
 K = TypeVar("K", bound=Hashable)
 
 _REMOVED = object()
@@ -128,6 +130,7 @@ class IndexedPriorityQueue(Generic[K]):
         """
         return self._bulk(pairs, require_present=False)
 
+    @instrumented("rekey_batch")
     def rekey_batch(self, pairs: Iterable[tuple[K, object]]) -> int:
         """Re-key many queued items at once.
 

@@ -1,0 +1,44 @@
+"""The ``obs`` CLI subcommand: artifacts, validity, exit codes."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.cli import main
+from repro.obs import validate_jsonl
+
+
+class TestObsCommand:
+    def test_quick_run_writes_valid_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "obs")
+        assert main(["obs", "--quick", "--out-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Deadline-miss attribution" in out
+        assert "obs done in" in out
+
+        spans = os.path.join(out_dir, "obs_spans.jsonl")
+        trace = os.path.join(out_dir, "obs_trace.json")
+        prom = os.path.join(out_dir, "obs_metrics.prom")
+        metrics_json = os.path.join(out_dir, "obs_metrics.json")
+        for path in (spans, trace, prom, metrics_json):
+            assert os.path.exists(path), path
+
+        # Every exported span honors the lifecycle contract.
+        assert validate_jsonl(spans) == []
+        assert len(open(spans).read().splitlines()) > 0
+
+        # The Chrome trace is loadable JSON with slice events.
+        payload = json.loads(open(trace).read())
+        assert payload["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+        # The Prometheus export carries the three pillars.
+        text = open(prom).read()
+        assert "requests_complete_total" in text
+        assert "request_wait_ms_bucket" in text
+        assert "phase_dispatch_loop_ms" in text  # profiling pillar
+
+    def test_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "obs" in capsys.readouterr().out

@@ -1,0 +1,238 @@
+"""Observer threading end-to-end: engine, dispatcher, faults, array."""
+
+from __future__ import annotations
+
+from repro.core.config import CascadedSFCConfig
+from repro.core.dispatcher import ConditionallyPreemptiveDispatcher
+from repro.core.scheduler import CascadedSFCScheduler
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.obs import NULL_OBSERVER, Observer, live, validate_spans
+from repro.obs.profile import active_profiler, instrumented
+from repro.obs.span import (
+    PHASE_CHARACTERIZE,
+    PHASE_COMPLETE,
+    PHASE_ENQUEUE,
+    PHASE_MISS,
+    PHASE_PREEMPT_INSERT,
+    PHASE_PROMOTE,
+    PHASE_WINDOW,
+)
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.sim.array import LogicalRequest, run_array_simulation
+from repro.sim.server import run_simulation
+from repro.sim.service import constant_service
+from repro.workloads.poisson import PoissonWorkload
+from tests.conftest import make_request
+
+
+def _workload(count=60):
+    return PoissonWorkload(count=count, mean_interarrival_ms=5.0,
+                           priority_dims=3, priority_levels=16,
+                           deadline_range_ms=(50.0, 400.0)).generate(seed=7)
+
+
+class TestLiveNormalization:
+    def test_live_drops_disabled_observers(self):
+        observer = Observer()
+        assert live(None) is None
+        assert live(NULL_OBSERVER) is None
+        assert live(observer) is observer
+
+    def test_null_observer_records_nothing(self):
+        request = make_request(request_id=1)
+        NULL_OBSERVER.on_arrival(request, 0.0)
+        NULL_OBSERVER.on_complete(request, 5.0)
+        NULL_OBSERVER.ensure_enqueued(request, 0.0)
+        assert NULL_OBSERVER.spans.closed_total == 0
+        assert NULL_OBSERVER.spans.open_spans == 0
+
+
+class TestObservedSimulation:
+    def test_cascaded_run_produces_valid_spans(self):
+        requests = _workload()
+        scheduler = CascadedSFCScheduler(CascadedSFCConfig(),
+                                         cylinders=3832)
+        observer = Observer()
+        result = run_simulation(requests, scheduler,
+                                constant_service(8.0),
+                                observer=observer)
+        assert validate_spans(observer.spans.closed()) == []
+        assert observer.spans.open_spans == 0
+        assert observer.spans.closed_total == len(requests)
+        outcomes = observer.spans.outcome_counts()
+        served = (outcomes.get(PHASE_COMPLETE, 0)
+                  + outcomes.get(PHASE_MISS, 0))
+        assert served == result.metrics.served
+        assert outcomes.get(PHASE_MISS, 0) == result.metrics.missed
+
+    def test_spans_carry_stage_scalars(self):
+        requests = _workload(count=10)
+        scheduler = CascadedSFCScheduler(CascadedSFCConfig(),
+                                         cylinders=3832)
+        observer = Observer()
+        run_simulation(requests, scheduler, constant_service(2.0),
+                       observer=observer)
+        span = observer.spans.closed()[0]
+        event = span.first(PHASE_CHARACTERIZE)
+        assert event is not None
+        assert "vc" in event.detail
+        assert "stage1_priority" in event.detail
+
+    def test_observed_vc_identical_to_fast_path(self):
+        """The detailed characterization path must not change v_c."""
+        requests = _workload()
+
+        def order(observer):
+            scheduler = CascadedSFCScheduler(CascadedSFCConfig(),
+                                             cylinders=3832)
+            served = []
+            from repro.sim.service import SyntheticService
+
+            def time_fn(request):
+                served.append(request.request_id)
+                return 10.0
+
+            run_simulation(requests, scheduler,
+                           SyntheticService(time_fn), observer=observer)
+            return served
+
+        assert order(None) == order(Observer())
+
+    def test_registry_pulls_sim_metrics(self):
+        requests = _workload(count=20)
+        scheduler = CascadedSFCScheduler(CascadedSFCConfig(),
+                                         cylinders=3832)
+        observer = Observer()
+        result = run_simulation(requests, scheduler,
+                                constant_service(5.0),
+                                observer=observer)
+        observer.registry.collect()
+        assert (observer.registry.get("sim_served_total").value
+                == result.metrics.served)
+        assert "dispatcher_heapify_total" in observer.registry
+
+
+class TestDispatcherHooks:
+    def test_preempt_promote_and_window_events(self):
+        dispatcher = ConditionallyPreemptiveDispatcher(
+            2.0, expansion_factor=2.0, serve_and_promote=True)
+        observer = Observer()
+        observer.now_ms = 0.0
+        dispatcher.bind_observer(observer)
+
+        a = make_request(request_id=1)
+        b = make_request(request_id=2)
+        dispatcher.insert(a, 50.0)     # idle -> q
+        dispatcher.insert(b, 60.0)     # idle -> q
+        assert dispatcher.pop() is a   # in service at v_c = 50
+
+        c = make_request(request_id=3)
+        dispatcher.insert(c, 49.0)     # inside the window -> q'
+        span_c = observer.spans.span(3)
+        assert span_c.first(PHASE_ENQUEUE).detail["queue"] == "q'"
+
+        d = make_request(request_id=4)
+        dispatcher.insert(d, 40.0)     # beats 50 - 2 -> preempt + ER expand
+        span_d = observer.spans.span(4)
+        assert span_d.first(PHASE_ENQUEUE).detail["queue"] == "q"
+        assert span_d.first(PHASE_PREEMPT_INSERT) is not None
+        assert span_d.first(PHASE_WINDOW).detail["action"] == "expand"
+        assert dispatcher.window == 4.0
+
+        # SP: d dispatches (ER resets); c at 49 beats head b at 60 - 2.
+        assert dispatcher.pop() is d
+        assert dispatcher.window == 2.0
+        assert dispatcher.pop() is c
+        assert observer.spans.span(3).first(PHASE_PROMOTE) is not None
+        observer.registry.collect()
+        assert (observer.registry.get(
+            "dispatcher_window_expand_total").value == 1)
+        assert (observer.registry.get(
+            "dispatcher_window_reset_total").value == 1)
+
+
+class TestBaselineFallback:
+    def test_ensure_enqueued_keeps_baseline_spans_valid(self):
+        """FCFS has no tracing dispatcher; the harness backfills q."""
+        requests = _workload(count=25)
+        observer = Observer()
+        run_simulation(requests, FCFSScheduler(),
+                       constant_service(5.0), observer=observer)
+        assert validate_spans(observer.spans.closed()) == []
+        span = observer.spans.closed()[0]
+        assert span.first(PHASE_ENQUEUE).detail["queue"] == "q"
+
+
+class TestProfiling:
+    def test_instrumented_is_passthrough_without_profiler(self):
+        calls = []
+
+        @instrumented("unit_test_phase")
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        assert active_profiler() is None
+        assert work(21) == 42
+        assert calls == [21]
+
+    def test_profiled_scope_lands_histograms(self):
+        observer = Observer()
+
+        @instrumented("unit_test_phase")
+        def work():
+            return 1
+
+        with observer.profiled():
+            work()
+            work()
+        assert active_profiler() is None  # scope restored
+        registry = observer.registry
+        assert registry.get("phase_unit_test_phase_calls_total").value == 2
+        assert registry.get("phase_unit_test_phase_ms").count == 2
+
+    def test_sim_run_times_hot_paths(self):
+        requests = _workload(count=30)
+        scheduler = CascadedSFCScheduler(CascadedSFCConfig(),
+                                         cylinders=3832)
+        observer = Observer()
+        with observer.profiled():
+            run_simulation(requests, scheduler, constant_service(20.0),
+                           observer=observer,
+                           recharacterize_every_ms=25.0)
+        assert "phase_rekey_batch_ms" in observer.registry
+
+
+class TestWatchFaults:
+    def test_fault_counters_pulled_at_collect(self):
+        injector = FaultInjector(FaultPlan())
+        injector.note_retry()
+        injector.note_retry()
+        injector.note_gave_up()
+        observer = Observer()
+        observer.watch_faults(injector)
+        observer.registry.collect()
+        assert observer.registry.get("faults_retries_total").value == 2
+        assert observer.registry.get("faults_gave_up_total").value == 1
+
+
+class TestObservedArray:
+    def test_logical_requests_get_terminal_spans(self):
+        requests = [
+            LogicalRequest(i, i * 10.0, logical_block=i * 3,
+                           deadline_ms=i * 10.0 + 5000.0,
+                           priorities=(i % 4,))
+            for i in range(24)
+        ]
+        observer = Observer()
+        result = run_array_simulation(
+            requests, FCFSScheduler, priority_levels=4,
+            observer=observer,
+        )
+        assert result.logical_metrics.completed == 24
+        assert observer.spans.closed_total == 24
+        assert observer.spans.open_spans == 0
+        assert validate_spans(observer.spans.closed()) == []
+        observer.registry.collect()
+        assert "array_served_total" in observer.registry

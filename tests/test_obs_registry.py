@@ -1,0 +1,112 @@
+"""Metrics registry: instruments, quantiles, and exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        counter = Counter("x_total")
+        counter.inc()
+        counter.inc(4.0)
+        assert counter.value == 5.0
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_counter_set_total_cannot_regress(self):
+        counter = Counter("x_total")
+        counter.set_total(10.0)
+        counter.set_total(10.0)
+        counter.set_total(12.0)
+        with pytest.raises(ValueError):
+            counter.set_total(11.0)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("depth")
+        gauge.set(5.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 4.0
+
+    def test_histogram_quantiles_to_bucket_resolution(self):
+        histogram = Histogram("lat_ms", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.5, 5.0, 5.0, 5.0, 50.0, 50.0, 50.0, 50.0,
+                      500.0):
+            histogram.observe(value)
+        assert histogram.count == 10
+        assert histogram.mean == pytest.approx(71.6)
+        assert histogram.quantile(0.5) == 10.0
+        assert histogram.quantile(0.9) == 100.0
+        assert histogram.quantile(1.0) == float("inf")  # overflow bucket
+        assert histogram.percentiles()["p50"] == 10.0
+
+    def test_empty_histogram(self):
+        histogram = Histogram("lat_ms")
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.99) == 0.0
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        registry = Registry()
+        a = registry.counter("hits_total", "hits")
+        b = registry.counter("hits_total")
+        assert a is b
+        assert len(registry) == 1
+
+    def test_kind_collision_raises(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_collect_callbacks_refresh_before_export(self):
+        registry = Registry()
+        source = {"value": 1.0}
+        registry.on_collect(
+            lambda: registry.gauge("pulled").set(source["value"]))
+        registry.collect()
+        assert registry.get("pulled").value == 1.0
+        source["value"] = 7.0
+        text = registry.to_prometheus()
+        assert "pulled 7" in text
+
+    def test_prometheus_exposition_format(self):
+        registry = Registry()
+        counter = registry.counter("served_total", "requests served")
+        counter.inc(3)
+        histogram = registry.histogram("wait_ms", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        text = registry.to_prometheus()
+        assert "# HELP served_total requests served" in text
+        assert "# TYPE served_total counter" in text
+        assert "served_total 3" in text
+        assert 'wait_ms_bucket{le="1"} 1' in text
+        assert 'wait_ms_bucket{le="10"} 2' in text
+        assert 'wait_ms_bucket{le="+Inf"} 3' in text
+        assert "wait_ms_count 3" in text
+
+    def test_json_snapshot_and_files(self, tmp_path):
+        registry = Registry()
+        registry.counter("a_total").inc(2)
+        registry.histogram("b_ms", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.to_json()
+        assert snapshot["a_total"] == {"type": "counter", "value": 2.0}
+        assert snapshot["b_ms"]["count"] == 1
+        assert "p99" in snapshot["b_ms"]
+        prom = registry.write_prometheus(str(tmp_path / "m.prom"))
+        js = registry.write_json(str(tmp_path / "m.json"))
+        assert open(prom).read().endswith("\n")
+        assert json.loads(open(js).read())["a_total"]["value"] == 2.0

@@ -1,0 +1,150 @@
+"""Span model and span-log contracts (repro.obs.span)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.span import (
+    PHASE_ARRIVAL,
+    PHASE_COMPLETE,
+    PHASE_DISPATCH,
+    PHASE_DROP,
+    PHASE_ENQUEUE,
+    PHASE_MISS,
+    SPAN_SCHEMA_VERSION,
+    SpanLog,
+    validate_jsonl,
+    validate_spans,
+)
+
+
+def _full_lifecycle(log: SpanLog, rid: int, t0: float = 0.0,
+                    outcome: str = PHASE_COMPLETE) -> None:
+    log.record(rid, t0, PHASE_ARRIVAL, stream_id=7)
+    log.record(rid, t0, PHASE_ENQUEUE, detail={"queue": "q"})
+    log.record(rid, t0 + 5.0, PHASE_DISPATCH)
+    log.record(rid, t0 + 9.0, outcome)
+
+
+class TestSpan:
+    def test_terminal_closes_span(self):
+        log = SpanLog()
+        _full_lifecycle(log, 1)
+        assert log.open_spans == 0
+        assert log.closed_total == 1
+        (span,) = log.closed()
+        assert span.terminal.phase == PHASE_COMPLETE
+        assert span.stream_id == 7
+
+    def test_duration_between(self):
+        log = SpanLog()
+        _full_lifecycle(log, 1)
+        (span,) = log.closed()
+        assert span.duration_between(PHASE_ENQUEUE, PHASE_DISPATCH) == 5.0
+        assert span.duration_between(PHASE_DISPATCH, PHASE_COMPLETE) == 4.0
+        assert span.duration_between("nope", PHASE_COMPLETE) is None
+
+    def test_as_dict_schema(self):
+        log = SpanLog()
+        _full_lifecycle(log, 3, outcome=PHASE_MISS)
+        payload = log.closed()[0].as_dict()
+        assert payload["schema_version"] == SPAN_SCHEMA_VERSION
+        assert payload["outcome"] == PHASE_MISS
+        assert [e["phase"] for e in payload["events"]] == [
+            PHASE_ARRIVAL, PHASE_ENQUEUE, PHASE_DISPATCH, PHASE_MISS,
+        ]
+
+
+class TestSpanLogRetention:
+    def test_capacity_evicts_oldest_but_counters_stay_exact(self):
+        log = SpanLog(capacity=3)
+        for rid in range(10):
+            outcome = PHASE_DROP if rid % 2 else PHASE_COMPLETE
+            _full_lifecycle(log, rid, t0=float(rid), outcome=outcome)
+        assert len(log) == 3  # retention bounded...
+        assert [s.request_id for s in log.closed()] == [7, 8, 9]
+        # ...but lifetime outcome accounting survives eviction.
+        assert log.closed_total == 10
+        assert log.outcome_counts() == {PHASE_COMPLETE: 5, PHASE_DROP: 5}
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpanLog(capacity=0)
+
+
+class TestValidate:
+    def test_valid_spans_pass(self):
+        log = SpanLog()
+        for rid in range(4):
+            _full_lifecycle(log, rid)
+        assert validate_spans(log.closed()) == []
+
+    def test_double_terminal_flagged(self):
+        log = SpanLog()
+        _full_lifecycle(log, 1)
+        span = log.closed()[0]
+        span.add(20.0, PHASE_DROP)
+        problems = validate_spans([span])
+        assert any("terminal" in p for p in problems)
+
+    def test_out_of_order_flagged(self):
+        log = SpanLog()
+        log.record(1, 5.0, PHASE_ARRIVAL)
+        log.record(1, 1.0, PHASE_COMPLETE)
+        problems = validate_spans(log.closed())
+        assert any("time order" in p for p in problems)
+
+    def test_dispatch_without_enqueue_flagged(self):
+        log = SpanLog()
+        log.record(1, 0.0, PHASE_DISPATCH)
+        log.record(1, 2.0, PHASE_COMPLETE)
+        problems = validate_spans(log.closed())
+        assert any("never enqueued" in p for p in problems)
+
+
+class TestExport:
+    def test_jsonl_round_trip_validates(self, tmp_path):
+        log = SpanLog()
+        for rid in range(5):
+            _full_lifecycle(log, rid, t0=float(rid))
+        path = str(tmp_path / "spans.jsonl")
+        log.to_jsonl(path)
+        assert validate_jsonl(path) == []
+        lines = open(path).read().splitlines()
+        assert len(lines) == 5
+        assert json.loads(lines[0])["request_id"] == 0
+
+    def test_validate_jsonl_catches_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema_version": 999, "request_id": 1,
+                        "outcome": "complete",
+                        "events": [{"phase": "complete", "time_ms": 0}]})
+            + "\n" + "not json\n"
+            + json.dumps({"schema_version": SPAN_SCHEMA_VERSION,
+                          "request_id": 2, "outcome": "complete",
+                          "events": []}) + "\n"
+        )
+        problems = validate_jsonl(str(path))
+        assert any("schema_version" in p for p in problems)
+        assert any("invalid JSON" in p for p in problems)
+        assert any("terminal" in p for p in problems)
+
+    def test_chrome_trace_shape(self, tmp_path):
+        log = SpanLog()
+        _full_lifecycle(log, 1)
+        records = log.chrome_trace_events()
+        slices = [r for r in records if r["ph"] == "X"]
+        assert {r["name"] for r in slices} == {"wait r1", "service r1"}
+        wait = next(r for r in slices if r["name"] == "wait r1")
+        assert wait["ts"] == 0.0 and wait["dur"] == 5000.0  # microseconds
+        assert wait["tid"] == 7  # one lane per stream
+        instants = [r for r in records if r["ph"] == "i"]
+        assert {r["name"] for r in instants} == {"arrival", "complete"}
+        path = str(tmp_path / "trace.json")
+        log.to_chrome_trace(path)
+        payload = json.loads(open(path).read())
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == len(records)

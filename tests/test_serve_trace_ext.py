@@ -1,0 +1,102 @@
+"""Trace-log extensibility and export (PR 4 satellites).
+
+Covers :meth:`TraceLog.register_kind`, the schema-versioned
+``as_dict``/``to_jsonl`` export, eviction-vs-counter exactness, and
+the observer sink callback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.trace import (
+    TRACE_KINDS,
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    TraceLog,
+    _REGISTERED_KINDS,
+    known_trace_kinds,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registered_kinds():
+    """Keep runtime kind registration test-local."""
+    before = set(_REGISTERED_KINDS)
+    yield
+    _REGISTERED_KINDS.clear()
+    _REGISTERED_KINDS.update(before)
+
+
+class TestRegisterKind:
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            TraceEvent(0.0, "rebalance")
+
+    def test_registered_kind_accepted(self):
+        kind = TraceLog.register_kind("rebalance")
+        assert kind == "rebalance"
+        event = TraceEvent(1.0, "rebalance", stream_id=3)
+        assert event.kind == "rebalance"
+        assert "rebalance" in known_trace_kinds()
+
+    def test_canonical_reregistration_is_noop(self):
+        assert TraceLog.register_kind("dispatch") == "dispatch"
+        assert "dispatch" not in _REGISTERED_KINDS
+        assert known_trace_kinds()[: len(TRACE_KINDS)] == TRACE_KINDS
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLog.register_kind("")
+        with pytest.raises(ValueError):
+            TraceLog.register_kind(None)
+
+
+class TestExport:
+    def test_as_dict_is_schema_versioned(self):
+        event = TraceEvent(5.0, "admit", stream_id=1, detail="qos=full")
+        payload = event.as_dict()
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
+        assert payload["kind"] == "admit"
+        assert payload["detail"] == "qos=full"
+
+    def test_to_jsonl_round_trip(self, tmp_path):
+        log = TraceLog()
+        log.record(0.0, "admit", stream_id=1)
+        log.record(1.0, "dispatch", stream_id=1, request_id=10)
+        log.record(2.0, "complete", stream_id=1, request_id=10)
+        path = tmp_path / "trace.jsonl"
+        assert log.to_jsonl(path) == 3
+        rows = [json.loads(line) for line in
+                path.read_text().splitlines()]
+        assert [r["kind"] for r in rows] == ["admit", "dispatch",
+                                             "complete"]
+        assert all(r["schema_version"] == TRACE_SCHEMA_VERSION
+                   for r in rows)
+
+    def test_eviction_keeps_counters_exact(self, tmp_path):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.record(float(i), "dispatch", request_id=i)
+        assert len(log) == 2  # retention bounded
+        assert log.count("dispatch") == 5  # lifetime counter exact
+        assert log.to_jsonl(tmp_path / "t.jsonl") == 2  # retained only
+
+
+class TestSink:
+    def test_sink_sees_every_recorded_event(self):
+        seen = []
+        log = TraceLog(sink=seen.append)
+        log.record(0.0, "admit", stream_id=1)
+        log.record(1.0, "reject", stream_id=2)
+        assert [e.kind for e in seen] == ["admit", "reject"]
+
+    def test_sink_fires_even_after_eviction(self):
+        seen = []
+        log = TraceLog(capacity=1, sink=seen.append)
+        for i in range(3):
+            log.record(float(i), "dispatch", request_id=i)
+        assert len(seen) == 3
+        assert len(log) == 1
