@@ -6,8 +6,9 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-quick bench bench-quick bench-baseline experiments \
-	experiments-quick serve-demo faults-demo obs-demo coverage loc
+.PHONY: test test-quick bench bench-quick bench-baseline \
+	bench-parallel experiments experiments-quick serve-demo \
+	faults-demo obs-demo coverage loc
 
 test:
 	$(PYTHONPATH_SRC) pytest tests/
@@ -23,9 +24,18 @@ bench:
 bench-quick:
 	$(PYTHONPATH_SRC) python -m repro.experiments bench --quick
 
-# Full-size hot-path bench; refreshes the committed BENCH_PR3.json.
+# Full-size hot-path bench; refreshes the committed BENCH_PR5.json
+# and compares speedups against the BENCH_PR3.json baseline.
 bench-baseline:
 	$(PYTHONPATH_SRC) python -m repro.experiments bench
+
+# Parallel-layer CI lane: a 2-worker experiment sweep (bit-identical
+# to serial by contract) plus the quick bench, whose parallel section
+# asserts the repro.parallel invariants.
+bench-parallel:
+	$(PYTHONPATH_SRC) python -m repro.experiments run fig8 --quick \
+		--jobs 2
+	$(PYTHONPATH_SRC) python -m repro.experiments bench --quick
 
 experiments:
 	$(PYTHONPATH_SRC) python -m repro.experiments run all

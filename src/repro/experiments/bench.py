@@ -13,8 +13,17 @@ invariants that make the fast paths safe*:
 
 Timings are recorded for tracking but never asserted -- wall clock is
 machine-dependent; the operation counts are not.  The full run writes
-``BENCH_PR3.json`` (the committed baseline); ``--quick`` runs a
-CI-sized instance.
+``BENCH_PR5.json`` and compares its speedups against the committed
+``BENCH_PR3.json`` baseline (a section regressing by more than 25% is
+a failure); ``--quick`` runs a CI-sized instance.
+
+The ``parallel`` section covers :mod:`repro.parallel`: the process
+fan-out sweep must be bit-identical to serial at any worker count, the
+member-parallel array run must reproduce the serial metrics exactly,
+and a warm persistent-LUT load must beat re-enumeration by >=10x.  The
+multi-worker *speedup* is only gated when the machine actually has
+four or more cores -- on smaller hosts it is recorded with the core
+count so the number can be read in context.
 """
 
 from __future__ import annotations
@@ -57,6 +66,15 @@ class BenchSpec:
     sim_requests: int = 4_000
     repeats: int = 3
     seed: int = 2004
+    #: Per-cell request count of the parallel-sweep grid.
+    sweep_requests: int = 1_500
+    #: Worker count of the timed parallel sweep arm.
+    sweep_jobs: int = 4
+    #: Logical requests of the member-parallel array comparison.
+    array_requests: int = 300
+    #: Grid dims of the persistent-LUT cache probe (16 levels); big
+    #: enough that enumeration visibly dominates a warm load.
+    cache_lut_dims: int = 4
 
     def quick(self) -> "BenchSpec":
         return BenchSpec(
@@ -68,6 +86,9 @@ class BenchSpec:
             queue_rekeys=1_000,
             sim_requests=600,
             repeats=2,
+            sweep_requests=500,
+            array_requests=150,
+            cache_lut_dims=3,
         )
 
 
@@ -83,7 +104,23 @@ def _best_of(fn, repeats: int) -> tuple[float, object]:
 
 
 def bench_curve_batch(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
-    """Scalar ``curve.index`` loop vs LUT-backed ``batch_index``."""
+    """Scalar ``curve.index`` loop vs LUT-backed ``batch_index``.
+
+    The persistent LUT tier is forced off for the duration: this
+    section times *enumeration* and asserts ``builds == 1``, which an
+    ambient ``REPRO_LUT_CACHE`` would turn into a disk load.
+    """
+    from repro.sfc import lut_cache
+
+    previous = lut_cache.configured()
+    lut_cache.configure("")
+    try:
+        return _bench_curve_batch(spec)
+    finally:
+        lut_cache.configure(previous)
+
+
+def _bench_curve_batch(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
     rng = np.random.default_rng(spec.seed)
     rows: list[dict] = []
     invariants: dict[str, bool] = {}
@@ -101,7 +138,10 @@ def bench_curve_batch(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
         scalar_s, scalar_out = _best_of(
             lambda: [curve.index(t) for t in tuples], spec.repeats
         )
-        clear_lut_cache()
+        # Evict only the curve under test: wiping the whole cache here
+        # forces every later section to re-enumerate its stage-1 grids,
+        # which inflates a quick run by over a second for no benefit.
+        clear_lut_cache(curve)
         LUT_STATS.reset()
         build_s, _ = _best_of(lambda: curve_lut(curve, force=True), 1)
         lut_s, lut_out = _best_of(
@@ -399,6 +439,153 @@ def bench_observability(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
     )
 
 
+def bench_parallel(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """The three tiers of ``repro.parallel``, each against serial.
+
+    * **sweep** -- a fig5-shaped (scheduler x curve x fraction) grid run
+      serially and with ``spec.sweep_jobs`` worker processes; results
+      must be bit-identical (the determinism contract), and the fan-out
+      must reach a 2x speedup -- gated only on hosts with >= 4 cores,
+      recorded (with the core count) everywhere else.
+    * **array** -- one RAID-5 run under a mixed fault plan with
+      ``member_jobs=2`` against the serial engine; every logical and
+      per-member metric must match exactly.
+    * **lut_cache** -- cold enumeration of a 16-level diagonal grid into
+      a temporary persistent cache vs a warm load from it; the load
+      must be >= 10x faster and must register as a cache hit.
+    """
+    import tempfile
+
+    from repro.faults import (DiskFailure, FaultPlan, LatencySpike,
+                              RetryPolicy, TransientErrors)
+    from repro.parallel import (ArrayCellSpec, ArrayWorkload, CellSpec,
+                                baseline, cascaded, metrics_fingerprint,
+                                run_array_cell, run_cell, run_cells)
+    from repro.sfc import lut_cache
+
+    cores = os.cpu_count() or 1
+    section: dict = {"cores": cores, "rows": []}
+    invariants: dict[str, bool] = {}
+
+    # -- tier 1: process fan-out over an experiment grid -------------------
+    workload = PoissonWorkload(
+        count=spec.sweep_requests,
+        mean_interarrival_ms=10.0,
+        priority_dims=3,
+        priority_levels=8,
+        deadline_range_ms=(300.0, 900.0),
+    )
+    cells = [CellSpec(label=("fifo",), workload=workload, seed=spec.seed,
+                      scheduler=baseline("fcfs"),
+                      service=("constant", 8.0), priority_levels=8)]
+    for curve in ("sweep", "hilbert", "diagonal"):
+        for fraction in (0.05, 0.2):
+            config = CascadedSFCConfig(
+                priority_dims=3, priority_levels=8, sfc1=curve,
+                dispatcher="conditional", window_fraction=fraction,
+            )
+            cells.append(CellSpec(
+                label=(curve, fraction), workload=workload,
+                seed=spec.seed, scheduler=cascaded(config),
+                service=("constant", 8.0), priority_levels=8,
+            ))
+
+    def cell_fingerprints(results) -> list[tuple]:
+        return [(r.label, r.scheduler_name, r.submitted, r.unserved,
+                 metrics_fingerprint(r.metrics)) for r in results]
+
+    serial_s, serial = _best_of(
+        lambda: run_cells(run_cell, cells, jobs=1), 1)
+    fanout_s, fanout = _best_of(
+        lambda: run_cells(run_cell, cells, jobs=spec.sweep_jobs), 1)
+    sweep_speedup = serial_s / fanout_s if fanout_s > 0 else float("inf")
+    invariants["parallel.sweep.bit_identical"] = (
+        cell_fingerprints(serial) == cell_fingerprints(fanout)
+    )
+    invariants["parallel.sweep.speedup_ok"] = (
+        sweep_speedup >= 2.0 if cores >= 4 else True
+    )
+    section["rows"].append({
+        "label": "sweep", "cells": len(cells),
+        "serial_s": serial_s, "parallel_s": fanout_s,
+        "jobs": spec.sweep_jobs, "speedup": sweep_speedup,
+        "speedup_gated": cores >= 4,
+    })
+
+    # -- tier 2: member-parallel array execution ---------------------------
+    plan = FaultPlan([
+        DiskFailure(disk=1, start_ms=150.0, end_ms=400.0),
+        TransientErrors(disk=3, start_ms=100.0, end_ms=600.0,
+                        probability=0.25),
+        LatencySpike(disk=0, start_ms=0.0, end_ms=300.0, extra_ms=4.0),
+    ], seed=spec.seed)
+    array_cell = ArrayCellSpec(
+        label=("array",),
+        workload=ArrayWorkload(count=spec.array_requests),
+        seed=spec.seed,
+        scheduler=baseline("scan", priority_levels=4),
+        priority_levels=4,
+        fault_plan=plan,
+        retry_policy=RetryPolicy(),
+    )
+    array_serial_s, array_serial = _best_of(
+        lambda: run_array_cell(array_cell), 1)
+    array_member_s, array_member = _best_of(
+        lambda: run_array_cell(replace(array_cell, member_jobs=2)), 1)
+
+    def array_fingerprint(result) -> tuple:
+        return (metrics_fingerprint(result.logical_metrics),
+                result.physical_ops, result.retries,
+                result.failed_logical, result.member_fingerprints)
+
+    invariants["parallel.array.same_metrics"] = (
+        array_fingerprint(array_serial) == array_fingerprint(array_member)
+    )
+    section["rows"].append({
+        "label": "array", "requests": spec.array_requests,
+        "physical_ops": array_serial.physical_ops,
+        "retries": array_serial.retries,
+        "serial_s": array_serial_s, "member2_s": array_member_s,
+        # Lane advancement is GIL-bound: tracked, not gated.
+        "speedup": (array_serial_s / array_member_s
+                    if array_member_s > 0 else float("inf")),
+    })
+
+    # -- tier 3: persistent LUT cache --------------------------------------
+    curve = get_curve("diagonal", spec.cache_lut_dims, 16)
+    loads0 = LUT_STATS.disk_loads
+    with tempfile.TemporaryDirectory(prefix="repro-lut-bench-") as tmp:
+        lut_cache.configure(tmp)
+        try:
+            lut_cache.CACHE_STATS.reset()
+            clear_lut_cache(curve)
+            build_s, _ = _best_of(
+                lambda: curve_lut(curve, force=True), 1)
+            warm_s = float("inf")
+            for _ in range(max(spec.repeats, 3)):
+                clear_lut_cache(curve)
+                started = time.perf_counter()
+                warm = curve_lut(curve, force=True)
+                warm_s = min(warm_s, time.perf_counter() - started)
+            # Drop the mmap-backed table before the directory goes away.
+            clear_lut_cache(curve)
+            hits = lut_cache.CACHE_STATS.loads
+        finally:
+            lut_cache.configure(None)
+    warm_speedup = build_s / warm_s if warm_s > 0 else float("inf")
+    invariants["parallel.lut_cache.hit"] = (
+        warm is not None and hits >= 1
+        and LUT_STATS.disk_loads > loads0
+    )
+    invariants["parallel.lut_cache.warm_10x"] = warm_speedup >= 10.0
+    section["rows"].append({
+        "label": "lut_cache", "cells": 16 ** spec.cache_lut_dims,
+        "build_s": build_s, "warm_load_s": warm_s,
+        "disk_loads": hits, "speedup": warm_speedup,
+    })
+    return section, invariants
+
+
 SECTIONS = (
     ("curve_batch", bench_curve_batch),
     ("characterize", bench_characterize),
@@ -406,7 +593,67 @@ SECTIONS = (
     ("end_to_end", bench_end_to_end),
     ("recharacterize", bench_recharacterize),
     ("observability", bench_observability),
+    ("parallel", bench_parallel),
 )
+
+#: The committed baseline this PR's report is compared against.
+BASELINE_PATH = "BENCH_PR3.json"
+
+#: A section may lose up to this fraction of its recorded speedup
+#: before the comparison fails (wall-clock noise allowance).
+BASELINE_TOLERANCE = 0.25
+
+
+def compare_baseline(report: dict,
+                     path: str = BASELINE_PATH) -> tuple[dict, dict]:
+    """Speedup-regression check against the committed baseline report.
+
+    Only same-kind runs compare (full vs full): quick numbers on a
+    different problem size say nothing about the committed full-spec
+    baseline.  Absent or mismatched baselines skip the check rather
+    than fail it, so the benchmark still runs outside a repo checkout.
+    """
+    comparison: dict = {"path": path, "status": "absent", "speedups": {}}
+    invariants: dict[str, bool] = {}
+    if not os.path.exists(path):
+        return comparison, invariants
+    try:
+        with open(path, encoding="utf-8") as fh:
+            old = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        comparison["status"] = "unreadable"
+        return comparison, invariants
+    if old.get("meta", {}).get("spec") != report["meta"]["spec"]:
+        comparison["status"] = "spec-mismatch"
+        return comparison, invariants
+    comparison["status"] = "compared"
+    floor = 1.0 - BASELINE_TOLERANCE
+    for name, old_section in old.get("sections", {}).items():
+        new_section = report["sections"].get(name)
+        if new_section is None:
+            continue
+        old_rows = old_section.get("rows", [old_section])
+        new_rows = new_section.get("rows", [new_section])
+        new_by_label = {
+            row.get("curve") or row.get("label") or name: row
+            for row in new_rows
+        }
+        for old_row in old_rows:
+            label = old_row.get("curve") or old_row.get("label") or name
+            new_row = new_by_label.get(label)
+            old_speedup = old_row.get("speedup")
+            new_speedup = (new_row or {}).get("speedup")
+            if not (isinstance(old_speedup, (int, float))
+                    and isinstance(new_speedup, (int, float))):
+                continue
+            key = name if label == name else f"{name}.{label}"
+            comparison["speedups"][key] = {
+                "baseline": old_speedup, "current": new_speedup,
+            }
+            invariants[f"baseline.{key}.no_regression"] = (
+                new_speedup >= old_speedup * floor
+            )
+    return comparison, invariants
 
 
 def run(spec: BenchSpec = BenchSpec()) -> dict:
@@ -424,6 +671,9 @@ def run(spec: BenchSpec = BenchSpec()) -> dict:
         section, invariants = fn(spec)
         report["sections"][name] = section
         report["invariants"].update(invariants)
+    comparison, invariants = compare_baseline(report)
+    report["baseline"] = comparison
+    report["invariants"].update(invariants)
     report["ok"] = all(report["invariants"].values())
     return report
 
@@ -433,10 +683,14 @@ def render(report: dict) -> str:
     for name, section in report["sections"].items():
         rows = section.get("rows", [section])
         for row in rows:
-            label = row.get("curve", name)
+            label = row.get("curve") or row.get("label") or name
             speedup = row.get("speedup", 0.0)
             lines.append(f"  {name:15s} {label:18s} "
                          f"speedup {speedup:6.1f}x")
+    baseline = report.get("baseline", {})
+    if baseline:
+        lines.append(f"baseline {baseline.get('path')}: "
+                     f"{baseline.get('status')}")
     bad = [k for k, v in report["invariants"].items() if not v]
     lines.append(
         "invariants: all ok" if not bad

@@ -13,6 +13,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable
@@ -44,10 +45,14 @@ def _tables_of(result: object) -> list[Table]:
     return tables
 
 
-def _run_spec(module, quick: bool):
+def _run_spec(module, quick: bool, jobs: int | None = None):
+    # Only spec classes the module itself defines count — imported
+    # helpers like repro.parallel.CellSpec must not shadow them.
     spec_cls = next(
-        (getattr(module, name) for name in dir(module)
-         if name.endswith("Spec")),
+        (obj for name in dir(module)
+         if name.endswith("Spec")
+         and isinstance(obj := getattr(module, name), type)
+         and obj.__module__ == module.__name__),
         None,
     )
     if spec_cls is None:
@@ -55,19 +60,28 @@ def _run_spec(module, quick: bool):
     spec = spec_cls()
     if quick:
         spec = spec.quick()
+    if jobs is not None and hasattr(spec, "jobs"):
+        spec = dataclasses.replace(spec, jobs=jobs)
     return module.run(spec)
 
 
-EXPERIMENTS: dict[str, Callable[[bool], object]] = {
-    "table1": lambda quick: table1_disk_model.run(),
-    "fig1": lambda quick: _run_spec(fig1_curves, quick),
-    "fig5": lambda quick: _run_spec(fig5_priority_inversion, quick),
-    "fig6": lambda quick: _run_spec(fig6_scalability, quick),
-    "fig7": lambda quick: _run_spec(fig7_fairness, quick),
-    "fig8": lambda quick: _run_spec(fig8_f_tradeoff, quick),
-    "fig9": lambda quick: _run_spec(fig9_selectivity, quick),
-    "fig10": lambda quick: _run_spec(fig10_r_tradeoff, quick),
-    "fig11": lambda quick: _run_spec(fig11_aggregate_losses, quick),
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "table1": lambda quick, jobs=None: table1_disk_model.run(),
+    "fig1": lambda quick, jobs=None: _run_spec(fig1_curves, quick),
+    "fig5": lambda quick, jobs=None: _run_spec(fig5_priority_inversion,
+                                               quick, jobs),
+    "fig6": lambda quick, jobs=None: _run_spec(fig6_scalability, quick,
+                                               jobs),
+    "fig7": lambda quick, jobs=None: _run_spec(fig7_fairness, quick,
+                                               jobs),
+    "fig8": lambda quick, jobs=None: _run_spec(fig8_f_tradeoff, quick,
+                                               jobs),
+    "fig9": lambda quick, jobs=None: _run_spec(fig9_selectivity, quick,
+                                               jobs),
+    "fig10": lambda quick, jobs=None: _run_spec(fig10_r_tradeoff, quick,
+                                                jobs),
+    "fig11": lambda quick, jobs=None: _run_spec(fig11_aggregate_losses,
+                                                quick, jobs),
 }
 
 DESCRIPTIONS = {
@@ -84,9 +98,10 @@ DESCRIPTIONS = {
 
 
 def run_experiment(name: str, quick: bool,
-                   out=sys.stdout, csv_dir: str | None = None) -> None:
+                   out=sys.stdout, csv_dir: str | None = None,
+                   jobs: int | None = None) -> None:
     """Run one experiment; print its tables, optionally export CSV."""
-    result = EXPERIMENTS[name](quick)
+    result = EXPERIMENTS[name](quick, jobs)
     tables = _tables_of(result)
     for table in tables:
         print(table.render(), file=out)
@@ -210,6 +225,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="benchmark-sized instance")
     runner.add_argument("--csv", metavar="DIR", default=None,
                         help="also export every table as CSV into DIR")
+    runner.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for the experiment grid "
+                             "(default: serial; results are "
+                             "bit-identical at any N)")
     server = sub.add_parser(
         "serve", help="online serving-layer ramp demo (repro.serve)"
     )
@@ -265,7 +284,7 @@ def main(argv: list[str] | None = None) -> int:
     elif (args.command == "bench" and args.out is None
             and not args.quick):
         # Only full runs refresh the committed baseline.
-        args.out = "BENCH_PR3.json"
+        args.out = "BENCH_PR5.json"
     elif (args.command == "faults" and args.out is None
             and not args.quick):
         # Only full-spec runs refresh the recorded comparison; the
@@ -297,7 +316,8 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.perf_counter()
         print(f"=== {name}: {DESCRIPTIONS[name]}")
-        run_experiment(name, args.quick, csv_dir=args.csv)
+        run_experiment(name, args.quick, csv_dir=args.csv,
+                       jobs=args.jobs)
         print(f"--- {name} done in "
               f"{time.perf_counter() - started:.1f}s")
         print()

@@ -27,13 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.schedulers.edf import EDFScheduler
-from repro.schedulers.scan import BatchedCScanScheduler, CScanScheduler
-from repro.sim.server import SimulationResult
+from repro.parallel import (CellResult, CellSpec, baseline, cascaded,
+                            run_cell, run_cells)
 from repro.workloads.poisson import PoissonWorkload
 
-from .common import Table, fresh_disk_service, percent_of, replay
+from .common import Table, percent_of
 
 CYLINDERS = 3832
 
@@ -55,19 +53,22 @@ class Fig10Spec:
     sfc1: str = "diagonal"
     window_fraction: float = 0.05
     seed: int = 2004
+    #: Worker processes for the scheduler sweep; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig10Spec":
-        return Fig10Spec(r_values=(1, 4, 10), count=1200)
+        return Fig10Spec(r_values=(1, 4, 10), count=1200, jobs=self.jobs)
 
 
 @dataclass
 class Fig10Result:
     table: Table
-    reference: SimulationResult  # batched C-SCAN
-    edf: SimulationResult
+    reference: CellResult  # batched C-SCAN
+    edf: CellResult
 
 
-def run(spec: Fig10Spec = Fig10Spec()) -> Fig10Result:
+def _cells(spec: Fig10Spec) -> list[CellSpec]:
+    """Three baselines plus one cascade cell per R, on the real disk."""
     workload = PoissonWorkload(
         count=spec.count,
         mean_interarrival_ms=spec.mean_interarrival_ms,
@@ -77,15 +78,43 @@ def run(spec: Fig10Spec = Fig10Spec()) -> Fig10Result:
         cylinders=CYLINDERS,
         nbytes=spec.nbytes,
     )
-    requests = workload.generate(spec.seed)
-    service = fresh_disk_service()
-
-    reference = replay(requests, lambda: BatchedCScanScheduler(CYLINDERS),
-                       service, priority_levels=spec.priority_levels)
-    cscan = replay(requests, lambda: CScanScheduler(CYLINDERS), service,
-                   priority_levels=spec.priority_levels)
-    edf = replay(requests, EDFScheduler, service,
+    service = ("disk",)
+    cells = [
+        CellSpec(label=(name,), workload=workload, seed=spec.seed,
+                 scheduler=baseline(name, cylinders=CYLINDERS),
+                 service=service,
                  priority_levels=spec.priority_levels)
+        for name in ("batched-cscan", "cscan", "edf")
+    ]
+    for r in spec.r_values:
+        config = CascadedSFCConfig(
+            priority_dims=spec.priority_dims,
+            priority_levels=spec.priority_levels,
+            sfc1=spec.sfc1,
+            stage2_kind="weighted",
+            f=spec.f,
+            deadline_horizon_ms=spec.deadline_horizon_ms,
+            use_stage3=True,
+            stage3_kind="partitioned",
+            r_partitions=r,
+            dispatcher="conditional",
+            window_fraction=spec.window_fraction,
+        )
+        cells.append(CellSpec(
+            label=("cascaded", r), workload=workload, seed=spec.seed,
+            scheduler=cascaded(config, cylinders=CYLINDERS),
+            service=service, priority_levels=spec.priority_levels,
+        ))
+    return cells
+
+
+def run(spec: Fig10Spec = Fig10Spec()) -> Fig10Result:
+    results = {cell.label: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
+    reference = results[("batched-cscan",)]
+    cscan = results[("cscan",)]
+    edf = results[("edf",)]
 
     ref_inv = reference.metrics.total_inversions
     ref_miss = reference.metrics.missed
@@ -110,30 +139,12 @@ def run(spec: Fig10Spec = Fig10Spec()) -> Fig10Result:
         edf.metrics.seek_ms / 1e3,
     )
     for r in spec.r_values:
-        config = CascadedSFCConfig(
-            priority_dims=spec.priority_dims,
-            priority_levels=spec.priority_levels,
-            sfc1=spec.sfc1,
-            stage2_kind="weighted",
-            f=spec.f,
-            deadline_horizon_ms=spec.deadline_horizon_ms,
-            use_stage3=True,
-            stage3_kind="partitioned",
-            r_partitions=r,
-            dispatcher="conditional",
-            window_fraction=spec.window_fraction,
-        )
-        result = replay(
-            requests,
-            lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=CYLINDERS),
-            service,
-            priority_levels=spec.priority_levels,
-        )
+        metrics = results[("cascaded", r)].metrics
         table.add_row(
             f"cascaded R={r}",
-            percent_of(result.metrics.total_inversions, ref_inv),
-            percent_of(result.metrics.missed, ref_miss),
-            result.metrics.seek_ms / 1e3,
+            percent_of(metrics.total_inversions, ref_inv),
+            percent_of(metrics.missed, ref_miss),
+            metrics.seek_ms / 1e3,
         )
     return Fig10Result(table, reference, edf)
 

@@ -19,26 +19,23 @@ Five schedulers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.disk.disk import make_xp32150_geometry
-from repro.schedulers.base import Scheduler
-from repro.schedulers.fcfs import FCFSScheduler
+from repro.parallel import (CellSpec, baseline, cascaded, run_cell,
+                            run_cells)
 from repro.sim.metrics import linear_weights
 from repro.workloads.multimedia import VideoServerWorkload
 
-from .common import Table, fresh_disk_service, replay
+from .common import Table
 
 CYLINDERS = 3832
 LEVELS = 8
 DEADLINE_RANGE = (750.0, 1500.0)
 
 
-def _curve_scheduler(sfc2: str) -> Callable[[], Scheduler]:
-    """A Section 6 scheduler: one priority dim fed to a 2-D SFC2."""
-    config = CascadedSFCConfig(
+def _curve_config(sfc2: str) -> CascadedSFCConfig:
+    """A Section 6 configuration: one priority dim fed to a 2-D SFC2."""
+    return CascadedSFCConfig(
         priority_dims=1,
         priority_levels=LEVELS,
         sfc1="sweep",  # 1-D passthrough: priority enters SFC2 directly
@@ -50,22 +47,23 @@ def _curve_scheduler(sfc2: str) -> Callable[[], Scheduler]:
         use_stage3=False,
         dispatcher="full",
     )
-    return lambda: CascadedSFCScheduler(config, cylinders=CYLINDERS)
 
 
-def section6_schedulers() -> dict[str, Callable[[], Scheduler]]:
-    """The five Figure 11 schedulers, keyed by paper label.
+def section6_scheduler_refs() -> dict[str, tuple]:
+    """The five Figure 11 schedulers as picklable references.
 
     Sweep-X (deadline-major) uses the Sweep curve whose X axis carries
     the priority; Sweep-Y (priority-major) is its transpose, which this
     library calls the C-Scan curve.
     """
     return {
-        "fcfs": FCFSScheduler,
-        "sweep-x": _curve_scheduler("sweep"),
-        "sweep-y": _curve_scheduler("cscan"),
-        "hilbert": _curve_scheduler("hilbert"),
-        "diagonal": _curve_scheduler("diagonal"),
+        "fcfs": baseline("fcfs", cylinders=CYLINDERS),
+        "sweep-x": cascaded(_curve_config("sweep"), cylinders=CYLINDERS),
+        "sweep-y": cascaded(_curve_config("cscan"), cylinders=CYLINDERS),
+        "hilbert": cascaded(_curve_config("hilbert"),
+                            cylinders=CYLINDERS),
+        "diagonal": cascaded(_curve_config("diagonal"),
+                             cylinders=CYLINDERS),
     }
 
 
@@ -77,24 +75,23 @@ class Fig11Spec:
     blocks_per_user: int = 25
     write_fraction: float = 0.25
     seed: int = 2004
+    #: Worker processes for the (scheduler x users) grid; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig11Spec":
-        return Fig11Spec(user_counts=(68, 91), blocks_per_user=12)
+        return Fig11Spec(user_counts=(68, 91), blocks_per_user=12,
+                         jobs=self.jobs)
 
 
-def run(spec: Fig11Spec = Fig11Spec()) -> Table:
-    geometry = make_xp32150_geometry()
-    weights = linear_weights(LEVELS)
-    schedulers = section6_schedulers()
+def _cells(spec: Fig11Spec) -> list[CellSpec]:
+    """One cell per (user count, scheduler), on the real disk.
 
-    table = Table(
-        title=("Figure 11 -- aggregate weighted losses vs number of "
-               "users"),
-        headers=("scheduler",) + tuple(
-            f"users={u}" for u in spec.user_counts
-        ),
-    )
-    series: dict[str, list[float]] = {name: [] for name in schedulers}
+    The worker lays streams out on the Table 1 geometry
+    (:func:`repro.parallel.cells.generate_requests` detects the
+    ``generate_streams`` protocol), so requests match the serial path.
+    """
+    refs = section6_scheduler_refs()
+    cells = []
     for users in spec.user_counts:
         workload = VideoServerWorkload(
             users=users,
@@ -103,16 +100,34 @@ def run(spec: Fig11Spec = Fig11Spec()) -> Table:
             deadline_range_ms=DEADLINE_RANGE,
             write_fraction=spec.write_fraction,
         )
-        requests = workload.generate_streams(spec.seed, geometry)
-        for name, factory in schedulers.items():
-            result = replay(
-                requests, factory, fresh_disk_service(),
+        for name, ref in refs.items():
+            cells.append(CellSpec(
+                label=(name, users), workload=workload, seed=spec.seed,
+                scheduler=ref, service=("disk",),
                 drop_expired=True,  # lost frames are worthless
                 priority_levels=LEVELS,
-            )
-            series[name].append(result.metrics.weighted_loss(weights))
-    for name in schedulers:
-        table.add_row(name, *series[name])
+            ))
+    return cells
+
+
+def run(spec: Fig11Spec = Fig11Spec()) -> Table:
+    weights = linear_weights(LEVELS)
+    results = {cell.label: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
+
+    table = Table(
+        title=("Figure 11 -- aggregate weighted losses vs number of "
+               "users"),
+        headers=("scheduler",) + tuple(
+            f"users={u}" for u in spec.user_counts
+        ),
+    )
+    for name in section6_scheduler_refs():
+        table.add_row(name, *[
+            results[(name, users)].metrics.weighted_loss(weights)
+            for users in spec.user_counts
+        ])
     return table
 
 

@@ -13,13 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.schedulers.fcfs import FCFSScheduler
+from repro.parallel import CellSpec, baseline, cascaded, run_cell, run_cells
 from repro.sfc.registry import PAPER_CURVES
-from repro.sim.service import constant_service
 from repro.workloads.poisson import PoissonWorkload
 
-from .common import Table, percent_of, replay
+from .common import Table, percent_of
 
 
 @dataclass(frozen=True)
@@ -36,6 +34,8 @@ class Fig5Spec:
     priority_dims: int = 3
     priority_levels: int = 16
     seed: int = 2004
+    #: Worker processes for the (curve x window) grid; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig5Spec":
         """Smaller instance for the benchmark harness."""
@@ -48,6 +48,7 @@ class Fig5Spec:
             priority_dims=self.priority_dims,
             priority_levels=self.priority_levels,
             seed=self.seed,
+            jobs=self.jobs,
         )
 
     def normal_load(self) -> "Fig5Spec":
@@ -66,11 +67,12 @@ class Fig5Spec:
             priority_dims=self.priority_dims,
             priority_levels=self.priority_levels,
             seed=self.seed,
+            jobs=self.jobs,
         )
 
 
-def run(spec: Fig5Spec = Fig5Spec()) -> Table:
-    """Produce the Figure 5 table: % of FIFO inversions per (curve, w)."""
+def _cells(spec: Fig5Spec) -> list[CellSpec]:
+    """The (curve x window) grid plus the FIFO reference, as cells."""
     workload = PoissonWorkload(
         count=spec.count,
         mean_interarrival_ms=spec.mean_interarrival_ms,
@@ -78,12 +80,37 @@ def run(spec: Fig5Spec = Fig5Spec()) -> Table:
         priority_levels=spec.priority_levels,
         deadline_range_ms=None,  # relaxed deadlines: SFC2 eliminated
     )
-    requests = workload.generate(spec.seed)
-    service = lambda: constant_service(spec.service_ms)
+    service = ("constant", spec.service_ms)
+    cells = [CellSpec(
+        label=("fifo",), workload=workload, seed=spec.seed,
+        scheduler=baseline("fcfs"), service=service,
+        priority_levels=spec.priority_levels,
+    )]
+    for curve in spec.curves:
+        for fraction in spec.window_fractions:
+            config = CascadedSFCConfig(
+                priority_dims=spec.priority_dims,
+                priority_levels=spec.priority_levels,
+                sfc1=curve,
+                use_stage2=False,
+                use_stage3=False,
+                dispatcher="conditional",
+                window_fraction=fraction,
+            )
+            cells.append(CellSpec(
+                label=(curve, fraction), workload=workload,
+                seed=spec.seed, scheduler=cascaded(config),
+                service=service, priority_levels=spec.priority_levels,
+            ))
+    return cells
 
-    fifo = replay(requests, FCFSScheduler, service,
-                  priority_levels=spec.priority_levels)
-    fifo_inversions = fifo.metrics.total_inversions
+
+def run(spec: Fig5Spec = Fig5Spec()) -> Table:
+    """Produce the Figure 5 table: % of FIFO inversions per (curve, w)."""
+    results = {cell.label: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
+    fifo_inversions = results[("fifo",)].metrics.total_inversions
 
     table = Table(
         title=("Figure 5 -- mean priority inversion (% of FIFO) vs "
@@ -95,23 +122,10 @@ def run(spec: Fig5Spec = Fig5Spec()) -> Table:
     for curve in spec.curves:
         row: list[object] = [curve]
         for fraction in spec.window_fractions:
-            config = CascadedSFCConfig(
-                priority_dims=spec.priority_dims,
-                priority_levels=spec.priority_levels,
-                sfc1=curve,
-                use_stage2=False,
-                use_stage3=False,
-                dispatcher="conditional",
-                window_fraction=fraction,
-            )
-            result = replay(
-                requests,
-                lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
-                service,
-                priority_levels=spec.priority_levels,
-            )
-            row.append(percent_of(result.metrics.total_inversions,
-                                  fifo_inversions))
+            row.append(percent_of(
+                results[(curve, fraction)].metrics.total_inversions,
+                fifo_inversions,
+            ))
         table.add_row(*row)
     return table
 

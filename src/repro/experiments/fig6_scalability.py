@@ -12,12 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.schedulers.fcfs import FCFSScheduler
-from repro.sim.service import constant_service
+from repro.parallel import CellSpec, baseline, cascaded, run_cell, run_cells
 from repro.workloads.poisson import PoissonWorkload
 
-from .common import Table, percent_of, replay
+from .common import Table, percent_of
 
 
 @dataclass(frozen=True)
@@ -34,24 +32,22 @@ class Fig6Spec:
     priority_levels: int = 16
     window_fraction: float = 0.1
     seed: int = 2004
+    #: Worker processes for the (curve x dims) grid; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig6Spec":
         return Fig6Spec(
             curves=self.curves,
             dimensionalities=(2, 6, 12),
             count=300,
+            jobs=self.jobs,
         )
 
 
-def run(spec: Fig6Spec = Fig6Spec()) -> Table:
-    """Figure 6 table: % of FIFO inversions per (curve, dimensionality)."""
-    table = Table(
-        title="Figure 6 -- priority inversion (% of FIFO) vs dimensionality",
-        headers=("curve",) + tuple(
-            f"D={d}" for d in spec.dimensionalities
-        ),
-    )
-    series: dict[str, list[float]] = {curve: [] for curve in spec.curves}
+def _cells(spec: Fig6Spec) -> list[CellSpec]:
+    """One FIFO reference plus one cascade cell per (dims, curve)."""
+    service = ("constant", spec.service_ms)
+    cells = []
     for dims in spec.dimensionalities:
         workload = PoissonWorkload(
             count=spec.count,
@@ -60,11 +56,11 @@ def run(spec: Fig6Spec = Fig6Spec()) -> Table:
             priority_levels=spec.priority_levels,
             deadline_range_ms=None,
         )
-        requests = workload.generate(spec.seed)
-        service = lambda: constant_service(spec.service_ms)
-        fifo = replay(requests, FCFSScheduler, service,
-                      priority_levels=spec.priority_levels)
-        fifo_inversions = fifo.metrics.total_inversions
+        cells.append(CellSpec(
+            label=("fifo", dims), workload=workload, seed=spec.seed,
+            scheduler=baseline("fcfs"), service=service,
+            priority_levels=spec.priority_levels,
+        ))
         for curve in spec.curves:
             config = CascadedSFCConfig(
                 priority_dims=dims,
@@ -75,17 +71,36 @@ def run(spec: Fig6Spec = Fig6Spec()) -> Table:
                 dispatcher="conditional",
                 window_fraction=spec.window_fraction,
             )
-            result = replay(
-                requests,
-                lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
-                service,
+            cells.append(CellSpec(
+                label=(curve, dims), workload=workload, seed=spec.seed,
+                scheduler=cascaded(config), service=service,
                 priority_levels=spec.priority_levels,
-            )
-            series[curve].append(
-                percent_of(result.metrics.total_inversions, fifo_inversions)
-            )
+            ))
+    return cells
+
+
+def run(spec: Fig6Spec = Fig6Spec()) -> Table:
+    """Figure 6 table: % of FIFO inversions per (curve, dimensionality)."""
+    results = {cell.label: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
+    table = Table(
+        title="Figure 6 -- priority inversion (% of FIFO) vs dimensionality",
+        headers=("curve",) + tuple(
+            f"D={d}" for d in spec.dimensionalities
+        ),
+    )
     for curve in spec.curves:
-        table.add_row(curve, *series[curve])
+        row: list[object] = [curve]
+        for dims in spec.dimensionalities:
+            fifo_inversions = (
+                results[("fifo", dims)].metrics.total_inversions
+            )
+            row.append(percent_of(
+                results[(curve, dims)].metrics.total_inversions,
+                fifo_inversions,
+            ))
+        table.add_row(*row)
     return table
 
 

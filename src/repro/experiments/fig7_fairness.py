@@ -15,14 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.schedulers.fcfs import FCFSScheduler
+from repro.parallel import CellSpec, baseline, cascaded, run_cell, run_cells
 from repro.sfc.registry import PAPER_CURVES
-from repro.sim.service import constant_service
 from repro.util.stats import stddev
 from repro.workloads.poisson import PoissonWorkload
 
-from .common import Table, percent_of, replay
+from .common import Table, percent_of
 
 
 @dataclass(frozen=True)
@@ -37,12 +35,15 @@ class Fig7Spec:
     priority_dims: int = 4
     priority_levels: int = 16
     seed: int = 2004
+    #: Worker processes for the (curve x window) grid; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig7Spec":
         return Fig7Spec(
             curves=self.curves,
             window_fractions=(0.0, 0.4, 1.0),
             count=300,
+            jobs=self.jobs,
         )
 
 
@@ -54,7 +55,8 @@ class Fig7Result:
     favored_table: Table
 
 
-def run(spec: Fig7Spec = Fig7Spec()) -> Fig7Result:
+def _cells(spec: Fig7Spec) -> list[CellSpec]:
+    """The FIFO reference plus the (curve x window) grid, as cells."""
     workload = PoissonWorkload(
         count=spec.count,
         mean_interarrival_ms=spec.mean_interarrival_ms,
@@ -62,11 +64,36 @@ def run(spec: Fig7Spec = Fig7Spec()) -> Fig7Result:
         priority_levels=spec.priority_levels,
         deadline_range_ms=None,
     )
-    requests = workload.generate(spec.seed)
-    service = lambda: constant_service(spec.service_ms)
-    fifo = replay(requests, FCFSScheduler, service,
-                  priority_levels=spec.priority_levels)
-    fifo_by_dim = fifo.metrics.inversions_by_dim
+    service = ("constant", spec.service_ms)
+    cells = [CellSpec(
+        label=("fifo",), workload=workload, seed=spec.seed,
+        scheduler=baseline("fcfs"), service=service,
+        priority_levels=spec.priority_levels,
+    )]
+    for curve in spec.curves:
+        for fraction in spec.window_fractions:
+            config = CascadedSFCConfig(
+                priority_dims=spec.priority_dims,
+                priority_levels=spec.priority_levels,
+                sfc1=curve,
+                use_stage2=False,
+                use_stage3=False,
+                dispatcher="conditional",
+                window_fraction=fraction,
+            )
+            cells.append(CellSpec(
+                label=(curve, fraction), workload=workload,
+                seed=spec.seed, scheduler=cascaded(config),
+                service=service, priority_levels=spec.priority_levels,
+            ))
+    return cells
+
+
+def run(spec: Fig7Spec = Fig7Spec()) -> Fig7Result:
+    results = {cell.label: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
+    fifo_by_dim = results[("fifo",)].metrics.inversions_by_dim
 
     window_headers = tuple(
         f"w={int(w * 100)}%" for w in spec.window_fractions
@@ -86,24 +113,10 @@ def run(spec: Fig7Spec = Fig7Spec()) -> Fig7Result:
         std_row: list[object] = [curve]
         fav_row: list[object] = [curve]
         for fraction in spec.window_fractions:
-            config = CascadedSFCConfig(
-                priority_dims=spec.priority_dims,
-                priority_levels=spec.priority_levels,
-                sfc1=curve,
-                use_stage2=False,
-                use_stage3=False,
-                dispatcher="conditional",
-                window_fraction=fraction,
-            )
-            result = replay(
-                requests,
-                lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
-                service,
-                priority_levels=spec.priority_levels,
-            )
+            metrics = results[(curve, fraction)].metrics
             per_dim_pct = [
                 percent_of(count, fifo_by_dim[k])
-                for k, count in enumerate(result.metrics.inversions_by_dim)
+                for k, count in enumerate(metrics.inversions_by_dim)
             ]
             std_row.append(stddev(per_dim_pct))
             fav_row.append(min(per_dim_pct))

@@ -16,12 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.schedulers.edf import EDFScheduler
-from repro.sim.service import constant_service
+from repro.parallel import CellSpec, baseline, cascaded, run_cell, run_cells
 from repro.workloads.poisson import PoissonWorkload
 
-from .common import Table, percent_of, replay
+from .common import Table, percent_of
 
 
 @dataclass(frozen=True)
@@ -41,12 +39,15 @@ class Fig8Spec:
     deadline_horizon_ms: float = 150.0
     window_fraction: float = 0.05
     seed: int = 2004
+    #: Worker processes for the (curve x f) grid; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig8Spec":
         return Fig8Spec(
             curves=("sweep", "hilbert", "diagonal"),
             f_values=(0.0, 1.0, 4.0),
             count=1000,
+            jobs=self.jobs,
         )
 
 
@@ -68,18 +69,50 @@ def _workload(spec: Fig8Spec) -> PoissonWorkload:
     )
 
 
-def run(spec: Fig8Spec = Fig8Spec()) -> Fig8Result:
-    requests = _workload(spec).generate(spec.seed)
-    # Constant service keeps the EDF normalization clean: with equal
-    # service times any work-conserving policy completes the same number
-    # of requests by any instant, so miss differences are purely about
-    # *which* requests the policy sacrifices (the paper's question).
-    service = lambda: constant_service(spec.service_ms)
+def _cells(spec: Fig8Spec) -> list[CellSpec]:
+    """The EDF reference plus the (curve x f) grid, as cells.
 
-    edf = replay(requests, EDFScheduler, service,
-                 priority_levels=spec.priority_levels)
-    edf_misses = edf.metrics.missed
-    edf_inversions = edf.metrics.total_inversions
+    Constant service keeps the EDF normalization clean: with equal
+    service times any work-conserving policy completes the same number
+    of requests by any instant, so miss differences are purely about
+    *which* requests the policy sacrifices (the paper's question).
+    """
+    workload = _workload(spec)
+    service = ("constant", spec.service_ms)
+    cells = [CellSpec(
+        label=("edf",), workload=workload, seed=spec.seed,
+        scheduler=baseline("edf"), service=service,
+        priority_levels=spec.priority_levels,
+    )]
+    for curve in spec.curves:
+        for f in spec.f_values:
+            config = CascadedSFCConfig(
+                priority_dims=spec.priority_dims,
+                priority_levels=spec.priority_levels,
+                sfc1=curve,
+                use_stage2=True,
+                stage2_kind="weighted",
+                f=f,
+                deadline_horizon_ms=spec.deadline_horizon_ms,
+                use_stage3=False,
+                dispatcher="conditional",
+                window_fraction=spec.window_fraction,
+            )
+            cells.append(CellSpec(
+                label=(curve, f), workload=workload, seed=spec.seed,
+                scheduler=cascaded(config), service=service,
+                priority_levels=spec.priority_levels,
+            ))
+    return cells
+
+
+def run(spec: Fig8Spec = Fig8Spec()) -> Fig8Result:
+    results = {cell.label: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
+    edf = results[("edf",)].metrics
+    edf_misses = edf.missed
+    edf_inversions = edf.total_inversions
 
     f_headers = tuple(f"f={f:g}" for f in spec.f_values)
     inversion_table = Table(
@@ -95,27 +128,10 @@ def run(spec: Fig8Spec = Fig8Spec()) -> Fig8Result:
         inv_row: list[object] = [curve]
         miss_row: list[object] = [curve]
         for f in spec.f_values:
-            config = CascadedSFCConfig(
-                priority_dims=spec.priority_dims,
-                priority_levels=spec.priority_levels,
-                sfc1=curve,
-                use_stage2=True,
-                stage2_kind="weighted",
-                f=f,
-                deadline_horizon_ms=spec.deadline_horizon_ms,
-                use_stage3=False,
-                dispatcher="conditional",
-                window_fraction=spec.window_fraction,
-            )
-            result = replay(
-                requests,
-                lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
-                service,
-                priority_levels=spec.priority_levels,
-            )
-            inv_row.append(percent_of(result.metrics.total_inversions,
+            metrics = results[(curve, f)].metrics
+            inv_row.append(percent_of(metrics.total_inversions,
                                       edf_inversions))
-            miss_row.append(percent_of(result.metrics.missed, edf_misses))
+            miss_row.append(percent_of(metrics.missed, edf_misses))
         inversion_table.add_row(*inv_row)
         miss_table.add_row(*miss_row)
 

@@ -18,13 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import CascadedSFCConfig
-from repro.core.scheduler import CascadedSFCScheduler
-from repro.schedulers.edf import EDFScheduler
-from repro.sim.server import SimulationResult
-from repro.sim.service import constant_service
+from repro.parallel import (CellResult, CellSpec, baseline, cascaded,
+                            run_cell, run_cells)
 from repro.workloads.poisson import PoissonWorkload
 
-from .common import Table, replay
+from .common import Table
 
 
 @dataclass(frozen=True)
@@ -45,9 +43,11 @@ class Fig9Spec:
     f: float = 1.0
     window_fraction: float = 0.05
     seed: int = 2004
+    #: Worker processes for the scheduler sweep; None = serial.
+    jobs: int | None = None
 
     def quick(self) -> "Fig9Spec":
-        return Fig9Spec(count=1200)
+        return Fig9Spec(count=1200, jobs=self.jobs)
 
 
 @dataclass
@@ -55,10 +55,11 @@ class Fig9Result:
     """One per-level miss table per priority dimension."""
 
     tables: list[Table]
-    results: dict[str, SimulationResult]
+    results: dict[str, CellResult]
 
 
-def run(spec: Fig9Spec = Fig9Spec()) -> Fig9Result:
+def _cells(spec: Fig9Spec) -> list[CellSpec]:
+    """EDF plus one cascade cell per curve, as cells."""
     workload = PoissonWorkload(
         count=spec.count,
         mean_interarrival_ms=spec.mean_interarrival_ms,
@@ -66,13 +67,12 @@ def run(spec: Fig9Spec = Fig9Spec()) -> Fig9Result:
         priority_levels=spec.priority_levels,
         deadline_range_ms=spec.deadline_range_ms,
     )
-    requests = workload.generate(spec.seed)
-    service = lambda: constant_service(spec.service_ms)
-
-    results: dict[str, SimulationResult] = {
-        "edf": replay(requests, EDFScheduler, service,
-                      priority_levels=spec.priority_levels)
-    }
+    service = ("constant", spec.service_ms)
+    cells = [CellSpec(
+        label=("edf",), workload=workload, seed=spec.seed,
+        scheduler=baseline("edf"), service=service,
+        priority_levels=spec.priority_levels,
+    )]
     for curve in spec.curves:
         config = CascadedSFCConfig(
             priority_dims=spec.priority_dims,
@@ -85,12 +85,18 @@ def run(spec: Fig9Spec = Fig9Spec()) -> Fig9Result:
             dispatcher="conditional",
             window_fraction=spec.window_fraction,
         )
-        results[curve] = replay(
-            requests,
-            lambda cfg=config: CascadedSFCScheduler(cfg, cylinders=3832),
-            service,
+        cells.append(CellSpec(
+            label=(curve,), workload=workload, seed=spec.seed,
+            scheduler=cascaded(config), service=service,
             priority_levels=spec.priority_levels,
-        )
+        ))
+    return cells
+
+
+def run(spec: Fig9Spec = Fig9Spec()) -> Fig9Result:
+    results = {cell.label[0]: cell
+               for cell in run_cells(run_cell, _cells(spec),
+                                     jobs=spec.jobs)}
 
     tables = []
     for dim in range(spec.priority_dims):
@@ -107,7 +113,7 @@ def run(spec: Fig9Spec = Fig9Spec()) -> Fig9Result:
     return Fig9Result(tables, results)
 
 
-def high_low_split(result: SimulationResult, dim: int,
+def high_low_split(result: CellResult, dim: int,
                    levels: int) -> tuple[int, int]:
     """Misses in the top half vs bottom half of the priority range."""
     misses = result.metrics.misses_by_level(dim)

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import lut_cache
 from .base import SpaceFillingCurve
 from .transforms import GluedCurve
 
@@ -54,11 +55,14 @@ class LutStats:
     builds: int = 0
     hits: int = 0
     cells: int = 0
+    #: Tables served from the persistent tier instead of being built.
+    disk_loads: int = 0
 
     def reset(self) -> None:
         self.builds = 0
         self.hits = 0
         self.cells = 0
+        self.disk_loads = 0
 
 
 #: Global build/hit counters, checked by the benchmark invariants.
@@ -121,6 +125,15 @@ def curve_lut(curve: SpaceFillingCurve, *, batch_rows: int | None = None,
     if lut is not None:
         LUT_STATS.hits += 1
         return lut
+    # Persistent tier (off unless configured — see repro.sfc.lut_cache):
+    # a stored table is essentially free next to enumeration, so it is
+    # honoured even when the amortization rule would decline to build.
+    if lut_cache.enabled():
+        lut = lut_cache.load(key, cells)
+        if lut is not None:
+            _CACHE[key] = lut
+            LUT_STATS.disk_loads += 1
+            return lut
     if not force and cells > LUT_EAGER_CELLS:
         if batch_rows is None or batch_rows * LUT_AMORTIZE < cells:
             return None
@@ -128,6 +141,8 @@ def curve_lut(curve: SpaceFillingCurve, *, batch_rows: int | None = None,
     _CACHE[key] = lut
     LUT_STATS.builds += 1
     LUT_STATS.cells += cells
+    if lut_cache.enabled():
+        lut_cache.save(key, lut)
     return lut
 
 
@@ -146,9 +161,16 @@ def has_lut_path(curve: SpaceFillingCurve) -> bool:
     return _cell_count(curve) <= LUT_MAX_CELLS
 
 
-def clear_lut_cache() -> None:
-    """Drop every cached table (tests and memory pressure)."""
-    _CACHE.clear()
+def clear_lut_cache(curve: SpaceFillingCurve | None = None) -> None:
+    """Drop cached tables: all of them, or just ``curve``'s.
+
+    Targeted eviction lets the benchmark time one curve's cold build
+    without discarding tables other sections are still reusing.
+    """
+    if curve is None:
+        _CACHE.clear()
+    else:
+        _CACHE.pop(_cache_key(curve), None)
 
 
 def cached_lut_count() -> int:

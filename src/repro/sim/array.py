@@ -494,6 +494,7 @@ def run_array_simulation(
     rebuild: RebuildConfig | None = None,
     recharacterize_every_ms: float | None = None,
     observer: Observer | None = None,
+    member_jobs: int | None = None,
 ) -> ArrayResult:
     """Replay logical block requests against a RAID-5 array.
 
@@ -521,6 +522,12 @@ def run_array_simulation(
     ``observer`` traces *logical* request lifecycles (arrival, retry
     re-queues, completion/drop) and pulls per-member dispatcher stats
     into the registry under ``member<i>_dispatcher_*``; default off.
+
+    ``member_jobs`` switches to the member-parallel engine
+    (:mod:`repro.sim.members`): the five member disks advance
+    concurrently between array-level barrier points, with results
+    matching this serial engine (the differential tests pin equality).
+    ``None``/``0``/``1`` keep the serial event loop below.
     """
     if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
         raise ValueError("recharacterize_every_ms must be positive")
@@ -560,6 +567,35 @@ def run_array_simulation(
                 member.scheduler,
                 prefix=f"member{member.index}_dispatcher",
             )
+
+    if member_jobs is not None and member_jobs not in (0, 1):
+        from .members import run_parallel_members  # avoid import cycle
+
+        physical_ops, tallies = run_parallel_members(
+            requests=requests,
+            members=array_members,
+            spare=spare,
+            raid=raid,
+            block_to_cylinder=block_to_cylinder,
+            logical_metrics=logical_metrics,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            failed_disk=failed_disk,
+            rebuild=rebuild,
+            dims=dims,
+            priority_levels=priority_levels,
+            recharacterize_every_ms=recharacterize_every_ms,
+            observer=obs,
+            jobs=member_jobs,
+        )
+        return ArrayResult(
+            logical_metrics=logical_metrics,
+            disk_metrics=[member.metrics for member in members],
+            physical_ops=physical_ops,
+            retries=tallies.retries,
+            failed_logical=tallies.failed_logical,
+            rebuild_ops=tallies.rebuild_ops,
+        )
 
     state = _ArrayState(array_members, raid, queue, block_to_cylinder,
                         logical_metrics, plan=fault_plan,

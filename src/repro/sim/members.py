@@ -1,0 +1,359 @@
+"""Deterministic member-parallel execution of the RAID-5 array run.
+
+:func:`run_parallel_members` replays the exact workload of
+:func:`repro.sim.array.run_array_simulation` with the five member
+disks advanced **concurrently** between array-level barrier points,
+producing the same logical metrics, per-member metrics, retry counts
+and fault ledger as the serial engine.
+
+Why this is possible
+--------------------
+
+Members only interact at *array-level events*: logical arrivals and
+retry re-expansions (which submit physical ops to several members at
+one instant), hot-spare rebuild stripes, and re-characterization
+ticks.  Between two consecutive array events every member evolves
+autonomously — its dispatch loop, disk timings and fault queries
+(:class:`~repro.faults.FaultPlan` is a pure function of ``(disk,
+time)``) read nothing another member writes.  The engine therefore
+alternates two modes:
+
+* **Free-run windows.**  With the next array event at time ``T``, each
+  busy lane (member) advances through every completion strictly before
+  ``T`` independently — concurrently when ``jobs > 1``.  Lane-local
+  effects (``on_served``, per-member metrics, the next dispatch) apply
+  in place; the shared ledger effects (decrementing ``remaining``,
+  logical completions, observer hooks) are logged and applied
+  afterwards in ``(time, member, lane-sequence)`` order, which is the
+  serial engine's order up to exact-time cross-member ties (measure
+  zero under continuous service times; the differential tests pin it).
+* **Serial stepping.**  A window in which a physical operation *could*
+  fail — a :class:`~repro.faults.DiskFailure` or
+  :class:`~repro.faults.TransientErrors` interval overlaps the span of
+  any in-flight or dispatchable operation — is executed one completion
+  at a time with immediate ledger application, byte-identical to the
+  serial engine, because a failure schedules a retry (an array event)
+  at an arbitrary future instant that may fall *inside* the current
+  window.  Outside fault territory the engine switches back to
+  free-running.
+
+Tie-break contract: array events at time ``T`` fire before completions
+at exactly ``T`` (the serial engine orders such ties by scheduling
+sequence; arrivals are scheduled first, so this matches for them and
+differs only on measure-zero dynamic-event ties).
+
+Honest caveat: lane advancement uses threads, so under CPython's GIL
+this tier buys determinism and architecture, not wall-clock speedup —
+that comes from the process-level sweep fan-out in
+:mod:`repro.parallel.runner`.  The engine is what makes ``member_jobs``
+safe to enable everywhere: its results are the serial results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.core.request import DiskRequest
+from repro.disk.raid import Raid5Array
+from repro.faults import DiskFailure, FaultPlan, RetryPolicy, TransientErrors
+from repro.obs.observer import Observer
+
+from .array import (LogicalRequest, RebuildConfig, _ArrayState, _FaultTallies,
+                    _MemberDisk)
+from .metrics import MetricsCollector
+
+
+def _normalize_member_jobs(jobs: int | None) -> int:
+    """Local copy of the ``jobs`` convention (repro.sim must not import
+    repro.parallel — the dependency points the other way)."""
+    if jobs is None or jobs == 0 or jobs == 1:
+        return 1
+    if jobs < 0:
+        import os
+        return max(os.cpu_count() or 1, 1)
+    return jobs
+
+
+class _ArrayClock:
+    """Array-level event heap standing in for the serial EventQueue.
+
+    Holds *only* barrier events (arrivals, retries, rebuild stripes,
+    refresh ticks); completions live on the lanes.  ``now`` is a plain
+    attribute because the engine sets it while applying merged lane
+    records.  Same (time, sequence) tie order as the serial queue.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+
+    def schedule(self, time_ms: float, action: Callable[[], None]) -> None:
+        if time_ms < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_ms} before now={self.now}"
+            )
+        heapq.heappush(self._heap,
+                       (time_ms, next(self._sequence), action))
+
+    def peek(self) -> float | None:
+        return self._heap[0][0] if self._heap else None
+
+    def fire_next(self) -> None:
+        time_ms, _, action = heapq.heappop(self._heap)
+        self.now = time_ms
+        action()
+
+
+class _FallibleSpans:
+    """The time intervals during which a physical op can *fail*.
+
+    Latency spikes and thermal ramps merely stretch service times
+    (pure, member-local); only failure windows and transient-error
+    windows create retries — the events that couple members within a
+    window.  A statically failed disk (``failed_disk``) never receives
+    operations, so it contributes no spans.
+    """
+
+    def __init__(self, plan: FaultPlan | None) -> None:
+        self._spans: list[tuple[float, float]] = []
+        if plan is not None:
+            for fault in plan:
+                if isinstance(fault, DiskFailure) or (
+                        isinstance(fault, TransientErrors)
+                        and fault.probability > 0.0):
+                    self._spans.append((fault.start_ms, fault.end_ms))
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        return any(start < hi and lo < end for start, end in self._spans)
+
+
+class _Lane:
+    """One member's private execution strand.
+
+    Owns the member's single in-flight operation
+    (``busy_op = (completion_ms, request, dispatched_ms)``) and mirrors
+    the serial engine's dispatch/complete logic against it.  During
+    free-run windows (``_strict``) any failure path raises instead of
+    mutating shared state — the fallibility pre-check makes that
+    unreachable, and raising turns a pre-check bug into a loud error
+    rather than silent nondeterminism.
+    """
+
+    def __init__(self, member: _MemberDisk, state: "_ParallelArrayState"
+                 ) -> None:
+        self.member = member
+        self.state = state
+        self.busy_op: tuple[float, DiskRequest, float] | None = None
+        self._sequence = 0
+        self._strict = False
+
+    # -- serial-faithful dispatch -----------------------------------------
+
+    def dispatch(self, now: float) -> None:
+        member, state = self.member, self.state
+        while self.busy_op is None:
+            physical = member.scheduler.next_request(
+                now, member.disk.head_cylinder
+            )
+            if physical is None:
+                return
+            if state._member_failed(member.index, now):
+                if self._strict:
+                    raise RuntimeError(
+                        "dispatch-time failure inside a free-run window"
+                    )
+                member.scheduler.on_served(physical, now)
+                state._op_failed(physical)
+                continue
+            member.metrics.on_dispatch(physical, member.scheduler.pending())
+            record = member.disk.serve(physical.cylinder, physical.nbytes)
+            total_ms = record.total_ms
+            if state.plan is not None:
+                total_ms += state.plan.service_penalty_ms(
+                    member.index, now, record.total_ms
+                )
+            member.metrics.on_service(record.seek_ms, record.latency_ms,
+                                      total_ms - record.seek_ms
+                                      - record.latency_ms)
+            member.busy = True
+            self.busy_op = (now + total_ms, physical, now)
+            return
+
+    def _finish_service(self, completion: float) -> tuple[DiskRequest,
+                                                          float]:
+        _, physical, started = self.busy_op  # type: ignore[misc]
+        self.busy_op = None
+        self.member.busy = False
+        self.member.scheduler.on_served(physical, completion)
+        return physical, started
+
+    # -- free-run mode -----------------------------------------------------
+
+    def advance(self, window_end: float) -> list[tuple]:
+        """Run every completion strictly before ``window_end``.
+
+        Returns ledger records ``(time, member, seq, request)`` for the
+        merge pass; everything lane-local has already been applied.
+        """
+        records: list[tuple] = []
+        member, state = self.member, self.state
+        self._strict = True
+        try:
+            while (self.busy_op is not None
+                   and self.busy_op[0] < window_end):
+                completion = self.busy_op[0]
+                physical, started = self._finish_service(completion)
+                if state._completion_failed(member.index, physical,
+                                            started, completion):
+                    raise RuntimeError(
+                        "operation failure inside a free-run window"
+                    )
+                member.metrics.on_complete(physical, completion)
+                records.append((completion, member.index,
+                                self._sequence, physical))
+                self._sequence += 1
+                self.dispatch(completion)
+        finally:
+            self._strict = False
+        return records
+
+    # -- serial-stepping mode ----------------------------------------------
+
+    def complete_one(self) -> None:
+        """Process this lane's due completion with immediate ledger
+        effects — the serial engine's ``complete`` closure verbatim."""
+        member, state = self.member, self.state
+        completion = self.busy_op[0]  # type: ignore[index]
+        state.queue.now = completion
+        physical, started = self._finish_service(completion)
+        if state._completion_failed(member.index, physical, started,
+                                    completion):
+            state._op_failed(physical)
+        else:
+            member.metrics.on_complete(physical, completion)
+            meta = state.op_meta.pop(physical.request_id, None)
+            if meta is not None:
+                state.finish_op(*meta)
+        self.dispatch(completion)
+
+
+class _ParallelArrayState(_ArrayState):
+    """Array bookkeeping whose dispatch routes to per-member lanes."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.lanes: dict[int, _Lane] = {}
+
+    def bind_lanes(self) -> None:
+        for member in self._all_members():
+            self.lanes[member.index] = _Lane(member, self)
+
+    def dispatch(self, member: _MemberDisk) -> None:
+        self.lanes[member.index].dispatch(self.queue.now)
+
+    def _completion_failed(self, index: int, physical: DiskRequest,
+                           started: float, now: float) -> bool:
+        """The serial completion closure's failure predicate (pure)."""
+        failed_mid_flight = (
+            self._member_failed(index, now)
+            or (self.plan is not None
+                and self.plan.failed_during(index, started, now))
+        )
+        if failed_mid_flight:
+            return True
+        return (self.plan is not None
+                and self.plan.attempt_fails(index, physical.request_id,
+                                            1, started))
+
+
+def run_parallel_members(
+    *,
+    requests: Sequence[LogicalRequest],
+    members: list[_MemberDisk],
+    spare: _MemberDisk | None,
+    raid: Raid5Array,
+    block_to_cylinder: Callable[[int], int],
+    logical_metrics: MetricsCollector,
+    fault_plan: FaultPlan | None,
+    retry_policy: RetryPolicy | None,
+    failed_disk: int | None,
+    rebuild: RebuildConfig | None,
+    dims: int,
+    priority_levels: int,
+    recharacterize_every_ms: float | None,
+    observer: Observer | None,
+    jobs: int | None,
+) -> tuple[int, _FaultTallies]:
+    """Drive one array run with member-parallel lanes.
+
+    Called by :func:`repro.sim.array.run_array_simulation` (which owns
+    all setup) when ``member_jobs`` asks for the parallel engine;
+    returns ``(physical_ops, tallies)`` for the shared
+    :class:`~repro.sim.array.ArrayResult` assembly.
+    """
+    clock = _ArrayClock()
+    state = _ParallelArrayState(members, raid, clock, block_to_cylinder,
+                                logical_metrics, plan=fault_plan,
+                                retry_policy=retry_policy, spare=spare,
+                                recharacterize_every_ms=(
+                                    recharacterize_every_ms),
+                                observer=observer)
+    state.failed_disk = failed_disk
+    state.bind_lanes()
+    # Same scheduling order as the serial driver: rebuild stripes
+    # first, then arrivals — equal-time ties resolve identically.
+    if rebuild is not None:
+        state.schedule_rebuild(rebuild, dims, priority_levels)
+    for request in sorted(requests,
+                          key=lambda r: (r.arrival_ms, r.request_id)):
+        clock.schedule(
+            max(request.arrival_ms, 0.0),
+            lambda req=request: state.submit_logical(req),
+        )
+
+    fallible = _FallibleSpans(fault_plan)
+    lanes = list(state.lanes.values())
+    worker_count = min(_normalize_member_jobs(jobs), len(lanes))
+    pool = (ThreadPoolExecutor(max_workers=worker_count)
+            if worker_count > 1 else None)
+    try:
+        while True:
+            next_event = clock.peek()
+            busy = [lane for lane in lanes if lane.busy_op is not None]
+            if not busy and next_event is None:
+                break
+            window_end = (next_event if next_event is not None
+                          else math.inf)
+            due = [lane for lane in busy
+                   if lane.busy_op[0] < window_end]
+            if not due:
+                clock.fire_next()
+                continue
+            starts = [lane.busy_op[2] for lane in due]
+            if fallible.overlaps(min(min(starts), clock.now), window_end):
+                # Failures possible: advance only the earliest
+                # completion, with immediate ledger effects.
+                min(due, key=lambda lane: lane.busy_op[0]).complete_one()
+                continue
+            if pool is not None and len(due) > 1:
+                batches = list(pool.map(
+                    lambda lane: lane.advance(window_end), due
+                ))
+            else:
+                batches = [lane.advance(window_end) for lane in due]
+            for completion, _, _, physical in sorted(
+                    itertools.chain.from_iterable(batches)):
+                clock.now = completion
+                meta = state.op_meta.pop(physical.request_id, None)
+                if meta is not None:
+                    state.finish_op(*meta)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    return state.physical_ops, state.tallies

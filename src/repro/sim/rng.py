@@ -8,6 +8,7 @@ independent substreams and stay identical across scheduler choices.
 
 from __future__ import annotations
 
+import hashlib
 from random import Random
 
 
@@ -19,6 +20,21 @@ def derive(seed: int, *labels: object) -> Random:
     """
     key = f"{seed}:" + "/".join(str(label) for label in labels)
     return Random(key)
+
+
+def spawn_seed(seed: int, *labels: object) -> int:
+    """A stable integer sub-seed for ``(seed, label path)``.
+
+    The parallel sweep layer (:mod:`repro.parallel`) hands every grid
+    cell its own seed so a cell's randomness is a pure function of the
+    root seed and the cell's coordinates — never of which worker runs
+    it or in what order.  The key is hashed (SHA-256) rather than
+    string-concatenated so sibling spawns (``("cell", 1, 2)`` vs
+    ``("cell", 12)``) cannot collide through formatting.
+    """
+    payload = repr((int(seed), tuple(str(label) for label in labels)))
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def exponential_interarrivals(rng: Random, mean_ms: float, count: int
