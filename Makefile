@@ -8,7 +8,7 @@ PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-quick bench bench-quick bench-baseline \
 	bench-parallel experiments experiments-quick serve-demo \
-	faults-demo obs-demo coverage loc
+	faults-demo obs-demo cluster-demo coverage loc
 
 test:
 	$(PYTHONPATH_SRC) pytest tests/
@@ -24,8 +24,8 @@ bench:
 bench-quick:
 	$(PYTHONPATH_SRC) python -m repro.experiments bench --quick
 
-# Full-size hot-path bench; refreshes the committed BENCH_PR5.json
-# and compares speedups against the BENCH_PR3.json baseline.
+# Full-size hot-path bench; compares speedups against the latest
+# committed BENCH_PR<n>.json and records the next one.
 bench-baseline:
 	$(PYTHONPATH_SRC) python -m repro.experiments bench
 
@@ -53,6 +53,12 @@ faults-demo:
 # Observed serve ramp: spans (JSONL + Perfetto), metrics, profiling.
 obs-demo:
 	$(PYTHONPATH_SRC) python -m repro.experiments obs --quick
+
+# Fleet demo: 4 arrays, one disk failure, bounded migrations, and the
+# --jobs bit-identity self-check; writes results/cluster_qos.json.
+cluster-demo:
+	$(PYTHONPATH_SRC) python -m repro.experiments cluster --quick \
+		--jobs 4 --verbose
 
 # Needs pytest-cov (pip install -e .[test]).
 coverage:

@@ -16,6 +16,12 @@ schedulers can be compared under identical hardware trouble.
 metrics registry with Prometheus/JSON exporters, and profiling hooks,
 all switched on by passing one :class:`~repro.obs.Observer` to any
 entry point (the default ``NULL_OBSERVER`` costs nothing).
+:mod:`repro.parallel` fans experiment cells out over worker processes
+with bit-identical results at any ``--jobs N`` (backed by the
+persistent curve-LUT tier, re-exported here as :mod:`~repro.sfc
+.lut_cache`), and :mod:`repro.cluster` scales the serving layer out:
+N arrays behind one placement/admission brain with failure-driven
+stream migration.
 
 Quick start::
 
@@ -66,12 +72,32 @@ from .faults import (
     TransientErrors,
 )
 
+# Imported after .faults: both packages build on the fault plans.
+from .cluster import ClusterConfig, ClusterController, FleetReport
+from .parallel import (
+    ArrayCellSpec,
+    CellSpec,
+    ClusterCellSpec,
+    ParallelRunner,
+    ServeCellSpec,
+    SweepReport,
+    WorkerStats,
+    normalize_jobs,
+    run_cells,
+)
+from .sfc import lut_cache
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AdmissionDecision",
+    "ArrayCellSpec",
     "CascadedSFCConfig",
     "CascadedSFCScheduler",
+    "CellSpec",
+    "ClusterCellSpec",
+    "ClusterConfig",
+    "ClusterController",
     "DiskFailure",
     "DiskModel",
     "DiskRequest",
@@ -80,23 +106,31 @@ __all__ = [
     "EncodeContext",
     "FaultInjector",
     "FaultPlan",
+    "FleetReport",
     "LatencySpike",
     "NULL_OBSERVER",
     "Observer",
+    "ParallelRunner",
     "RetryPolicy",
     "Scheduler",
-    "ThermalRamp",
-    "TransientErrors",
+    "ServeCellSpec",
     "ServerConfig",
     "ServerStats",
     "SessionManager",
     "SimulationResult",
     "StreamSpec",
     "StreamingServer",
+    "SweepReport",
+    "ThermalRamp",
+    "TransientErrors",
     "VirtualClock",
+    "WorkerStats",
+    "lut_cache",
     "make_admission",
     "make_baseline",
     "make_xp32150_disk",
+    "normalize_jobs",
+    "run_cells",
     "run_simulation",
     "__version__",
 ]

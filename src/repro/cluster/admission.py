@@ -1,0 +1,232 @@
+"""Global admission: aggregate per-array Table-1 budgets cluster-wide.
+
+One disk admits "68 to 91 users" (paper, Section 6); a fleet of N
+arrays admits ~N times that *only if* the controller can route around
+full or degraded members.  :class:`GlobalAdmission` composes a
+:class:`~repro.cluster.placement.PlacementPolicy` with one
+:class:`ArrayBudget` per array:
+
+* the placement policy proposes a preference order for the stream,
+* the first array whose advertised budget fits the stream's reserved
+  share admits it (``admit`` when it is the first choice, ``spill``
+  when a later choice caught it — the spillover that keeps fleet-wide
+  acceptance at N x the per-array band while individual arrays run
+  hot or rebuild),
+* a stream no budget fits is rejected cluster-wide.
+
+Budgets reuse the per-array reservation math
+(:meth:`repro.serve.admission.ReservationAdmission.reservation_for`
+prices a stream's share from the Table 1 disk model), so the cluster
+admits exactly the populations the single-array analysis predicts.
+The advertised ceiling is ``target_utilization x capacity_factor``;
+the controller degrades ``capacity_factor`` while a hot-spare rebuild
+eats a member's bandwidth and restores it afterwards.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.serve.admission import ReservationAdmission
+from repro.serve.session import StreamSpec
+
+from .placement import ArrayLoad, PlacementPolicy
+
+
+class RouteDecision(enum.Enum):
+    """Outcome class of one cluster-wide stream-open attempt."""
+
+    #: Admitted on the placement policy's first choice.
+    ADMIT = "admit"
+    #: Admitted, but only after spilling past full/degraded arrays.
+    SPILL = "spill"
+    #: No array budget fits the stream.
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class ClusterDecision:
+    """Decision plus the routing that produced it."""
+
+    decision: RouteDecision
+    #: Array granted the stream (-1 when rejected).
+    array_id: int
+    #: Reserved utilization share on the granted array (0 on reject).
+    share: float
+    #: Preference rank the stream landed at (0 = first choice).
+    rank: int
+    #: The placement preference order consulted, for the decision log.
+    preferred: tuple[int, ...]
+    reason: str
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision is not RouteDecision.REJECT
+
+
+class ArrayBudget:
+    """One array's advertised admission budget and its reservations.
+
+    Wraps the single-array :class:`ReservationAdmission` share pricing
+    with a mutable ``capacity_factor``: 1.0 while healthy, degraded
+    (e.g. 0.6) while the hot-spare rebuild competes for bandwidth.
+    """
+
+    def __init__(self, array_id: int, policy: ReservationAdmission,
+                 *, capacity_factor: float = 1.0) -> None:
+        if not 0.0 < capacity_factor <= 1.0:
+            raise ValueError("capacity_factor must be in (0, 1]")
+        self.array_id = array_id
+        self.policy = policy
+        self.capacity_factor = capacity_factor
+        self.reserved = 0.0
+        #: Streams currently reserved here (count only; the controller
+        #: owns the stream table).
+        self.streams = 0
+
+    @property
+    def advertised_limit(self) -> float:
+        """Budget ceiling after capacity degradation."""
+        return self.policy.target_utilization * self.capacity_factor
+
+    @property
+    def headroom(self) -> float:
+        return self.advertised_limit - self.reserved
+
+    def share_for(self, spec: StreamSpec) -> float:
+        """Reserved utilization share ``spec`` would cost here."""
+        return self.policy.reservation_for(spec)
+
+    def fits(self, spec: StreamSpec) -> bool:
+        return self.reserved + self.share_for(spec) \
+            <= self.advertised_limit
+
+    def reserve(self, share: float) -> None:
+        self.reserved += share
+        self.streams += 1
+
+    def release(self, share: float) -> None:
+        self.reserved = max(self.reserved - share, 0.0)
+        self.streams -= 1
+
+    def load(self, *, rebuilding: bool = False) -> ArrayLoad:
+        """Snapshot for the placement policy."""
+        return ArrayLoad(
+            array_id=self.array_id,
+            reserved_utilization=self.reserved,
+            advertised_limit=self.advertised_limit,
+            rebuilding=rebuilding,
+        )
+
+
+@dataclass
+class AdmissionCounters:
+    """Lifetime tallies of what the global controller decided."""
+
+    admitted: int = 0
+    spillovers: int = 0
+    rejected: int = 0
+
+    @property
+    def attempts(self) -> int:
+        return self.admitted + self.spillovers + self.rejected
+
+    @property
+    def accepted(self) -> int:
+        """Streams granted service anywhere in the fleet."""
+        return self.admitted + self.spillovers
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "spillovers": self.spillovers,
+            "rejected": self.rejected,
+        }
+
+
+class GlobalAdmission:
+    """Route-or-reject: the fleet-wide admission decision procedure.
+
+    Pure given its inputs: a decision depends only on the placement
+    policy, the budgets' reserved shares, and the per-array rebuild
+    flags — never on wall clock or iteration order — which is what
+    lets the serial controller replay and the parallel serving phase
+    agree byte for byte.
+    """
+
+    def __init__(self, placement: PlacementPolicy,
+                 budgets: dict[int, ArrayBudget]) -> None:
+        self.placement = placement
+        self.budgets = budgets
+        self.counters = AdmissionCounters()
+
+    def loads(self, rebuilding: frozenset[int] = frozenset()
+              ) -> list[ArrayLoad]:
+        """Per-array load snapshots in array-id order."""
+        return [
+            budget.load(rebuilding=array_id in rebuilding)
+            for array_id, budget in sorted(self.budgets.items())
+        ]
+
+    def route(self, stream_key: int, spec: StreamSpec,
+              rebuilding: frozenset[int] = frozenset(),
+              *, exclude: frozenset[int] = frozenset(),
+              count: bool = True) -> ClusterDecision:
+        """Place ``spec`` on the best array whose budget fits it.
+
+        ``exclude`` removes arrays from consideration entirely (the
+        migration path excludes the draining source); ``count=False``
+        skips the lifetime counters (used for re-admission probes).
+        """
+        loads = [load for load in self.loads(rebuilding)
+                 if load.array_id not in exclude]
+        preferred = self.placement.prefer(stream_key, loads)
+        for rank, array_id in enumerate(preferred):
+            budget = self.budgets[array_id]
+            share = budget.share_for(spec)
+            if budget.reserved + share <= budget.advertised_limit:
+                budget.reserve(share)
+                decision = (RouteDecision.ADMIT if rank == 0
+                            else RouteDecision.SPILL)
+                if count:
+                    if decision is RouteDecision.ADMIT:
+                        self.counters.admitted += 1
+                    else:
+                        self.counters.spillovers += 1
+                return ClusterDecision(
+                    decision=decision,
+                    array_id=array_id,
+                    share=share,
+                    rank=rank,
+                    preferred=preferred,
+                    reason=(f"array {array_id} reserved "
+                            f"{budget.reserved:.3f}"
+                            f"/{budget.advertised_limit:.3f}"
+                            + (f" after {rank} spills" if rank else "")),
+                )
+        if count:
+            self.counters.rejected += 1
+        return ClusterDecision(
+            decision=RouteDecision.REJECT,
+            array_id=-1,
+            share=0.0,
+            rank=len(preferred),
+            preferred=preferred,
+            reason="no array budget fits "
+                   f"(tried {len(preferred)} arrays)",
+        )
+
+    def release(self, array_id: int, share: float) -> None:
+        """Return a departed stream's share to its array budget."""
+        self.budgets[array_id].release(share)
+
+    @property
+    def fleet_reserved(self) -> float:
+        """Summed reserved utilization across the fleet."""
+        return sum(b.reserved for b in self.budgets.values())
+
+    @property
+    def fleet_advertised(self) -> float:
+        """Summed advertised budget across the fleet."""
+        return sum(b.advertised_limit for b in self.budgets.values())

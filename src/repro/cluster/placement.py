@@ -1,0 +1,221 @@
+"""Pluggable stream placement: which array should own a new stream?
+
+The cluster tier keeps placement *policy* separate from admission
+*budgets* (Yashvir & Prakash make the case that scheduling-algorithm
+selection belongs behind an interface; the same argument applies one
+level up).  A :class:`PlacementPolicy` sees the stream's stable key and
+a per-array :class:`ArrayLoad` snapshot and returns a full **preference
+order** over arrays — the global admission controller walks that order
+until a budget accepts (spillover) or the order is exhausted (reject).
+
+Two policies cover the classic trade-off:
+
+* :class:`ConsistentHashPlacement` — a seeded hash ring with virtual
+  nodes.  Placement is a pure function of ``(seed, member set, stream
+  key)``: joins/leaves move only the streams adjacent to the changed
+  arcs (~1/N of them), which the hypothesis churn property pins.
+* :class:`LeastReservedPlacement` — load-aware: arrays ordered by
+  ascending reserved utilization, so new streams always land on the
+  emptiest budget.  Ties break by a seeded per-(stream, array) hash,
+  never by dict order, so the preference order is deterministic.
+
+All hashing is SHA-256 over explicit ``repr`` keys — no Python
+``hash()`` (randomized per process) anywhere, which is what makes a
+placement decision reproducible across workers and runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def stable_hash(*labels: object) -> int:
+    """A 64-bit SHA-256 point for an explicit label path.
+
+    The key is built from ``repr`` of a tuple (like
+    :func:`repro.sim.rng.spawn_seed`) so sibling labels cannot collide
+    through string formatting.
+    """
+    payload = repr(tuple(str(label) for label in labels))
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ArrayLoad:
+    """One array's budget state, as placement policies see it."""
+
+    array_id: int
+    #: Sum of the placed streams' reserved utilization shares.
+    reserved_utilization: float
+    #: Budget ceiling currently advertised (degraded while rebuilding).
+    advertised_limit: float
+    #: True while a hot-spare rebuild eats the array's bandwidth.
+    rebuilding: bool = False
+
+    @property
+    def headroom(self) -> float:
+        """Advertised budget still unreserved (may be negative)."""
+        return self.advertised_limit - self.reserved_utilization
+
+
+class PlacementPolicy(ABC):
+    """Interface of all stream-placement policies."""
+
+    #: Registry name, e.g. ``"ring"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def prefer(self, stream_key: int, loads: Sequence[ArrayLoad]
+               ) -> tuple[int, ...]:
+        """Array ids for ``stream_key``, best candidate first.
+
+        Every array in ``loads`` appears exactly once; the admission
+        controller applies budget checks, the policy only orders.
+        """
+
+
+class ConsistentHashPlacement(PlacementPolicy):
+    """Seeded consistent-hash ring with virtual nodes.
+
+    Each array contributes ``replicas`` points to a 64-bit ring, keyed
+    by ``(seed, "ring", array_id, replica)``.  A stream hashes to a
+    ring position and its preference order is the clockwise walk from
+    there, keeping the first occurrence of each array.  Because every
+    point depends only on the seed and the array id, adding or removing
+    an array perturbs only the arcs it owns: at most ~S/N of S placed
+    streams move, and only onto (or off) the changed array.
+
+    Parameters
+    ----------
+    array_ids:
+        Initial ring membership.
+    seed:
+        Root seed of every ring point (and nothing else).
+    replicas:
+        Virtual nodes per array; more replicas tighten the max/mean
+        load ratio at the cost of a larger ring.
+    """
+
+    name = "ring"
+
+    def __init__(self, array_ids: Sequence[int] = (), *, seed: int = 0,
+                 replicas: int = 128) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self._seed = seed
+        self.replicas = replicas
+        self._members: set[int] = set()
+        #: Sorted ring points and their owning arrays (parallel lists).
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        for array_id in array_ids:
+            self.join(array_id)
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        return tuple(sorted(self._members))
+
+    def join(self, array_id: int) -> None:
+        """Add ``array_id``'s virtual nodes to the ring."""
+        if array_id in self._members:
+            raise ValueError(f"array {array_id} already on the ring")
+        self._members.add(array_id)
+        for replica in range(self.replicas):
+            point = stable_hash(self._seed, "ring", array_id, replica)
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, array_id)
+
+    def leave(self, array_id: int) -> None:
+        """Remove ``array_id``'s virtual nodes from the ring."""
+        if array_id not in self._members:
+            raise KeyError(f"array {array_id} not on the ring")
+        self._members.discard(array_id)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != array_id]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def assign(self, stream_key: int) -> int:
+        """First-choice array for ``stream_key`` (ring successor)."""
+        if not self._points:
+            raise RuntimeError("ring has no members")
+        point = stable_hash(self._seed, "stream", stream_key)
+        index = bisect.bisect_right(self._points, point)
+        return self._owners[index % len(self._owners)]
+
+    def prefer(self, stream_key: int, loads: Sequence[ArrayLoad]
+               ) -> tuple[int, ...]:
+        """Clockwise walk from the stream's point, distinct arrays.
+
+        Arrays present in ``loads`` but absent from the ring (not yet
+        joined) trail the order, sorted by id, so the controller can
+        still reach them as a last resort.
+        """
+        if not self._points:
+            return tuple(sorted(load.array_id for load in loads))
+        eligible = {load.array_id for load in loads}
+        point = stable_hash(self._seed, "stream", stream_key)
+        start = bisect.bisect_right(self._points, point)
+        order: list[int] = []
+        seen: set[int] = set()
+        n = len(self._owners)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner in eligible and owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(seen) == len(eligible):
+                    break
+        order.extend(sorted(eligible - seen))
+        return tuple(order)
+
+
+class LeastReservedPlacement(PlacementPolicy):
+    """Load-aware placement: emptiest reserved budget first.
+
+    Arrays are ordered by ascending reserved utilization (rebuilding
+    arrays demoted to the tail so healthy capacity absorbs new work),
+    with a seeded ``(stream, array)`` hash breaking exact ties — two
+    arrays at identical load split the incoming streams evenly instead
+    of always favouring the lower id.
+    """
+
+    name = "least-reserved"
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._seed = seed
+
+    def prefer(self, stream_key: int, loads: Sequence[ArrayLoad]
+               ) -> tuple[int, ...]:
+        return tuple(load.array_id for load in sorted(
+            loads,
+            key=lambda load: (
+                load.rebuilding,
+                round(load.reserved_utilization, 12),
+                stable_hash(self._seed, "tie", stream_key, load.array_id),
+            ),
+        ))
+
+
+#: Registry of placement policies by name.
+PLACEMENTS = ("ring", "least-reserved")
+
+
+def make_placement(name: str, array_ids: Sequence[int], *,
+                   seed: int = 0, replicas: int = 128) -> PlacementPolicy:
+    """Instantiate a placement policy by registry name."""
+    if name == "ring":
+        return ConsistentHashPlacement(array_ids, seed=seed,
+                                       replicas=replicas)
+    if name == "least-reserved":
+        return LeastReservedPlacement(seed=seed)
+    raise KeyError(
+        f"unknown placement policy {name!r}; known: "
+        + ", ".join(PLACEMENTS)
+    )

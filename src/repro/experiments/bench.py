@@ -13,9 +13,10 @@ invariants that make the fast paths safe*:
 
 Timings are recorded for tracking but never asserted -- wall clock is
 machine-dependent; the operation counts are not.  The full run writes
-``BENCH_PR5.json`` and compares its speedups against the committed
-``BENCH_PR3.json`` baseline (a section regressing by more than 25% is
-a failure); ``--quick`` runs a CI-sized instance.
+the next ``BENCH_PR<n>.json`` and compares its speedups against the
+*latest* committed baseline (:func:`latest_baseline_path`; a section
+regressing by more than 25% is a failure); ``--quick`` runs a CI-sized
+instance.
 
 The ``parallel`` section covers :mod:`repro.parallel`: the process
 fan-out sweep must be bit-identical to serial at any worker count, the
@@ -31,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import re
 import sys
 import time
 from dataclasses import dataclass, replace
@@ -596,7 +598,11 @@ SECTIONS = (
     ("parallel", bench_parallel),
 )
 
-#: The committed baseline this PR's report is compared against.
+#: Committed baselines are ``BENCH_PR<n>.json`` at the repo root; the
+#: comparison always targets the highest ``n`` present.
+BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+#: Fallback when no committed baseline exists (compares as "absent").
 BASELINE_PATH = "BENCH_PR3.json"
 
 #: A section may lose up to this fraction of its recorded speedup
@@ -604,8 +610,47 @@ BASELINE_PATH = "BENCH_PR3.json"
 BASELINE_TOLERANCE = 0.25
 
 
+def baseline_history(directory: str = ".") -> list[tuple[int, str]]:
+    """Committed ``BENCH_PR<n>.json`` baselines as sorted (n, path)."""
+    try:
+        names = os.listdir(directory or ".")
+    except OSError:
+        return []
+    history = []
+    for name in names:
+        match = BASELINE_PATTERN.match(name)
+        if match:
+            path = name if directory in ("", ".") \
+                else os.path.join(directory, name)
+            history.append((int(match.group(1)), path))
+    return sorted(history)
+
+
+def latest_baseline_path(directory: str = ".") -> str:
+    """The highest-numbered committed baseline (the comparison target).
+
+    Each PR that re-records the benchmark commits the next
+    ``BENCH_PR<n>.json``; comparing against the *latest* one keeps the
+    regression gate anchored to the most recent accepted numbers
+    without touching this module every PR.
+    """
+    history = baseline_history(directory)
+    if not history:
+        return os.path.join(directory, BASELINE_PATH) \
+            if directory != "." else BASELINE_PATH
+    return history[-1][1]
+
+
+def next_baseline_path(directory: str = ".") -> str:
+    """Where a full run should record its report (latest n + 1)."""
+    history = baseline_history(directory)
+    number = history[-1][0] + 1 if history else 1
+    name = f"BENCH_PR{number}.json"
+    return os.path.join(directory, name) if directory != "." else name
+
+
 def compare_baseline(report: dict,
-                     path: str = BASELINE_PATH) -> tuple[dict, dict]:
+                     path: str | None = None) -> tuple[dict, dict]:
     """Speedup-regression check against the committed baseline report.
 
     Only same-kind runs compare (full vs full): quick numbers on a
@@ -613,6 +658,8 @@ def compare_baseline(report: dict,
     baseline.  Absent or mismatched baselines skip the check rather
     than fail it, so the benchmark still runs outside a repo checkout.
     """
+    if path is None:
+        path = latest_baseline_path()
     comparison: dict = {"path": path, "status": "absent", "speedups": {}}
     invariants: dict[str, bool] = {}
     if not os.path.exists(path):

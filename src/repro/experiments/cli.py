@@ -8,12 +8,14 @@ Usage::
     python -m repro.experiments serve [--quick] [--policy reservation]
     python -m repro.experiments bench [--quick] [--out FILE]
     python -m repro.experiments obs [--quick] [--out-dir DIR]
+    python -m repro.experiments cluster [--quick] [--jobs N]
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
 from typing import Callable
@@ -212,6 +214,44 @@ def run_obs(args) -> int:
     return 0 if result.ok else 1
 
 
+def run_cluster(args) -> int:
+    """Fleet of arrays behind one controller (`cluster` subcommand)."""
+    import dataclasses as dc
+
+    from . import cluster_demo
+
+    spec = cluster_demo.ClusterSpec(
+        placement=args.policy,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    if args.quick:
+        spec = spec.quick()
+    if args.arrays is not None:
+        spec = dc.replace(spec, arrays=args.arrays)
+    if args.selfcheck is not None:
+        spec = dc.replace(spec, selfcheck=args.selfcheck)
+    started = time.perf_counter()
+    print(f"=== cluster: {spec.arrays}-array fleet "
+          f"(placement={spec.placement}, jobs={spec.jobs or 1})")
+    result = cluster_demo.run(spec)
+    print(result.summary.render())
+    print()
+    if args.verbose:
+        print(result.arrays_table.render())
+        print()
+    if args.out is not None:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        print(f"wrote {result.report.write_json(args.out)}")
+    for name, ok, detail in result.checks:
+        if not ok:
+            print(f"FAILED check: {name} ({detail})")
+    print(f"--- cluster done in {time.perf_counter() - started:.1f}s")
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -266,8 +306,8 @@ def main(argv: list[str] | None = None) -> int:
     benchp.add_argument("--quick", action="store_true",
                         help="CI-sized run (same invariants)")
     benchp.add_argument("--out", metavar="PATH", default=None,
-                        help="write the JSON report (default: "
-                             "BENCH_PR3.json for full runs, skipped "
+                        help="write the JSON report (default: the next "
+                             "BENCH_PR<n>.json for full runs, skipped "
                              "under --quick; use '' to skip)")
     obsp = sub.add_parser(
         "obs",
@@ -278,18 +318,52 @@ def main(argv: list[str] | None = None) -> int:
     obsp.add_argument("--out-dir", metavar="DIR", default="results",
                       help="export directory for spans/trace/metrics "
                            "(default: results)")
+    clusterp = sub.add_parser(
+        "cluster",
+        help="fleet of arrays: placement, global admission, migration",
+    )
+    clusterp.add_argument("--quick", action="store_true",
+                          help="4-array CI scenario (MPEG profile, one "
+                               "disk failure)")
+    clusterp.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for the per-array "
+                               "serving cells (bit-identical at any N)")
+    clusterp.add_argument("--arrays", type=int, default=None,
+                          metavar="N", help="override the fleet size")
+    clusterp.add_argument("--policy", default="ring",
+                          choices=("ring", "least-reserved"),
+                          help="stream placement policy")
+    clusterp.add_argument("--seed", type=int, default=2004,
+                          help="fleet scenario seed")
+    clusterp.add_argument("--selfcheck", action="store_true",
+                          default=None,
+                          help="force the jobs bit-identity re-run "
+                               "(default: on under --quick)")
+    clusterp.add_argument("--verbose", action="store_true",
+                          help="also print the per-array QoS table")
+    clusterp.add_argument("--out", metavar="PATH", default=None,
+                          help="write the fleet QoS report JSON "
+                               "(default: results/cluster_qos.json "
+                               "under --quick; use '' to skip)")
     args = parser.parse_args(argv)
     if getattr(args, "out", None) == "":
         args.out = None
     elif (args.command == "bench" and args.out is None
             and not args.quick):
-        # Only full runs refresh the committed baseline.
-        args.out = "BENCH_PR5.json"
+        # Only full runs record a new baseline, always the next
+        # BENCH_PR<n>.json after the latest committed one (which the
+        # run itself compared against).
+        from .bench import next_baseline_path
+        args.out = next_baseline_path()
     elif (args.command == "faults" and args.out is None
             and not args.quick):
         # Only full-spec runs refresh the recorded comparison; the
         # quick demo must not clobber it with benchmark-sized numbers.
         args.out = "results/faults_compare.csv"
+    elif (args.command == "cluster" and args.out is None
+            and args.quick):
+        # The quick fleet report is the cluster-smoke CI artifact.
+        args.out = "results/cluster_qos.json"
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -298,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         print("faults   schedulers under an identical fault schedule")
         print("bench    hot-path benchmark baseline (invariant-checked)")
         print("obs      observed serve ramp (spans, metrics, profiling)")
+        print("cluster  fleet of arrays: placement, admission, migration")
         return 0
 
     if args.command == "serve":
@@ -311,6 +386,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "obs":
         return run_obs(args)
+
+    if args.command == "cluster":
+        return run_cluster(args)
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:

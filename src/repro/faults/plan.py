@@ -175,6 +175,31 @@ class FaultPlan:
         ]
         return sorted(windows, key=lambda f: (f.start_ms, f.disk))
 
+    def rebuild_windows(self, disk: int | None = None, *,
+                        rebuild_ms: float = 0.0
+                        ) -> list[tuple[float, float]]:
+        """Failure windows extended by the hot-spare rebuild tail.
+
+        The failure -> controller signal of the cluster tier
+        (:mod:`repro.cluster.controller`): each returned ``(start,
+        end)`` covers the outage itself plus ``rebuild_ms`` of rebuild
+        traffic after the disk returns — the stretch during which the
+        array's advertised budget stays degraded.  Overlapping or
+        back-to-back windows merge, so one degradation episode yields
+        one signal.
+        """
+        if rebuild_ms < 0:
+            raise ValueError("rebuild_ms must be non-negative")
+        windows = [(f.start_ms, f.end_ms + rebuild_ms)
+                   for f in self.failure_windows(disk)]
+        merged: list[tuple[float, float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
     def extra_latency_ms(self, disk: int, now_ms: float) -> float:
         """Sum of active :class:`LatencySpike` extras at ``now_ms``."""
         return sum(

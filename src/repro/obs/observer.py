@@ -265,6 +265,28 @@ class Observer:
 
         self.registry.on_collect(pull)
 
+    def watch_cluster(self, controller) -> None:
+        """Pull fleet-tier metrics from a cluster controller.
+
+        Works with anything exposing ``metrics_snapshot() -> dict``
+        (:class:`repro.cluster.ClusterController`): ``*_total`` keys
+        export as counters, everything else as gauges, so global
+        admission, spillover, migration, and per-array budget state
+        land on the same scrape as the per-array server gauges.
+        """
+        snapshot = getattr(controller, "metrics_snapshot", None)
+        if snapshot is None:
+            return
+
+        def pull() -> None:
+            for name, value in snapshot().items():
+                if name.endswith("_total"):
+                    self.registry.counter(name).set_total(float(value))
+                else:
+                    self.registry.gauge(name).set(float(value))
+
+        self.registry.on_collect(pull)
+
 
 class NullObserver(Observer):
     """Shared do-nothing observer: every hook is a no-op.

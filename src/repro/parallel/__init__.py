@@ -12,10 +12,11 @@ metrics and traces are bit-identical to the serial run's:
 """
 
 from .cells import (ArrayCellResult, ArrayCellSpec, ArrayWorkload,
-                    CellResult, CellSpec, ServeCellResult, ServeCellSpec,
+                    CellResult, CellSpec, ClusterCellResult,
+                    ClusterCellSpec, ServeCellResult, ServeCellSpec,
                     WorkerStats, baseline, cascaded, generate_requests,
                     metrics_fingerprint, run_array_cell, run_cell,
-                    run_serve_cell)
+                    run_cluster_cell, run_serve_cell)
 from .runner import ParallelRunner, SweepReport, normalize_jobs, run_cells
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "ArrayWorkload",
     "CellResult",
     "CellSpec",
+    "ClusterCellResult",
+    "ClusterCellSpec",
     "ParallelRunner",
     "ServeCellResult",
     "ServeCellSpec",
@@ -37,5 +40,6 @@ __all__ = [
     "run_array_cell",
     "run_cell",
     "run_cells",
+    "run_cluster_cell",
     "run_serve_cell",
 ]

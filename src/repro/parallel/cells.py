@@ -297,6 +297,143 @@ def run_array_cell(spec: ArrayCellSpec) -> ArrayCellResult:
     )
 
 
+# -- cluster cells ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClusterCellSpec:
+    """One array's serving timeline within a cluster run.
+
+    The cluster controller (:mod:`repro.cluster.controller`) makes
+    every coupled decision serially and emits one closed ``open`` /
+    ``close`` script per array; this cell replays that script through
+    a real :class:`~repro.serve.server.StreamingServer`, so the
+    per-array serving work parallelizes like any other sweep cell —
+    the script, the seeds, and the optional fault plan cross the
+    process boundary by value.
+    """
+
+    label: tuple
+    array_id: int
+    #: Time-ordered :class:`repro.cluster.TimelineEntry` script.
+    timeline: tuple
+    until_ms: float
+    seed: int
+    scheduler: tuple
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    max_queue: int = 64
+    priority_levels: int = 8
+
+
+@dataclass(frozen=True)
+class ClusterCellResult:
+    """One array's serving outcome, reduced to picklable QoS facts."""
+
+    label: tuple
+    array_id: int
+    #: Streams opened / explicitly closed by the script.
+    opened: int
+    closed: int
+    dispatched: int
+    completed: int
+    missed: int
+    preempted: int
+    expired: int
+    faults_injected: int
+    measured_utilization: float
+    #: SHA-256 over the canonical serving trace (determinism pinning).
+    trace_digest: str
+    stats: WorkerStats
+
+
+def _serialize_server_trace(server) -> bytes:
+    """Canonical byte form of a server trace (same shape as the
+    faults-scenario golden serialization)."""
+    lines = [
+        f"{e.time_ms!r}|{e.kind}|{e.stream_id}|{e.request_id}|{e.detail}"
+        for e in server.trace
+    ]
+    return "\n".join(lines).encode()
+
+
+def run_cluster_cell(spec: ClusterCellSpec) -> ClusterCellResult:
+    """Worker entry point: replay one array's scripted timeline.
+
+    The server runs with ``always`` admission — the cluster tier
+    already decided who plays here — on a session manager seeded by
+    ``spawn_seed(seed, "cluster", array_id)``, so every array draws
+    independent, stable per-stream randomness at any worker count.
+    """
+    import hashlib
+
+    from repro.faults import FaultInjector
+    from repro.serve import (
+        ServerConfig,
+        SessionManager,
+        StreamingServer,
+        VirtualClock,
+        make_admission,
+    )
+    from repro.sim.rng import spawn_seed
+
+    started = time.perf_counter()
+    builds0, loads0 = LUT_STATS.builds, LUT_STATS.disk_loads
+    disk = make_xp32150_disk()
+    disk.reset(0)
+    faults = None
+    if spec.fault_plan is not None:
+        faults = FaultInjector(
+            spec.fault_plan,
+            policy=spec.retry_policy or RetryPolicy(),
+        )
+    server = StreamingServer(
+        make_scheduler(spec.scheduler),
+        DiskService(disk),
+        SessionManager(disk.geometry,
+                       seed=spawn_seed(spec.seed, "cluster",
+                                       spec.array_id)),
+        make_admission("always"),
+        clock=VirtualClock(),
+        config=ServerConfig(max_queue=spec.max_queue,
+                            priority_levels=spec.priority_levels),
+        faults=faults,
+    )
+    local_ids: dict[int, int] = {}
+    opened = closed = 0
+    for entry in spec.timeline:
+        server.run_until(entry.time_ms)
+        if entry.action == "open":
+            _result, session = server.open_stream(entry.spec)
+            assert session is not None  # always-admit by construction
+            local_ids[entry.stream_key] = session.stream_id
+            opened += 1
+        elif entry.action == "close":
+            server.close_stream(local_ids.pop(entry.stream_key))
+            closed += 1
+        else:
+            raise ValueError(
+                f"unknown timeline action {entry.action!r}"
+            )
+    server.run_until(spec.until_ms)
+    stats = server.stats()
+    return ClusterCellResult(
+        label=spec.label,
+        array_id=spec.array_id,
+        opened=opened,
+        closed=closed,
+        dispatched=stats.dispatched,
+        completed=stats.completed,
+        missed=stats.missed,
+        preempted=stats.preempted,
+        expired=stats.expired,
+        faults_injected=stats.faults_injected,
+        measured_utilization=stats.measured_utilization,
+        trace_digest=hashlib.sha256(
+            _serialize_server_trace(server)).hexdigest(),
+        stats=_collect_stats(started, builds0, loads0),
+    )
+
+
 # -- serve cells -----------------------------------------------------------
 
 @dataclass(frozen=True)

@@ -86,6 +86,27 @@ class StreamSpec:
     def with_priorities(self, priorities: tuple[int, ...]) -> "StreamSpec":
         return replace(self, priorities=priorities)
 
+    def advanced(self, blocks: int) -> "StreamSpec":
+        """The spec of this stream resumed ``blocks`` into its title.
+
+        Used by cluster migration (:mod:`repro.cluster.migration`): a
+        stream re-admitted on another array continues from where the
+        drained copy stopped.  Bounded titles shrink their remaining
+        ``blocks`` accordingly; a fully-consumed bounded title keeps
+        one block so the resumed session stays constructible (it
+        retires on its first poll).
+        """
+        if blocks < 0:
+            raise ValueError("blocks must be >= 0")
+        if blocks == 0:
+            return self
+        remaining = self.blocks
+        if remaining is not None:
+            blocks = min(blocks, remaining - 1)
+            remaining = remaining - blocks
+        return replace(self, start_block=self.start_block + blocks,
+                       blocks=remaining)
+
 
 class StreamSession:
     """One admitted user's periodic block feed.

@@ -1,0 +1,96 @@
+"""Tests for the bench baseline chain (latest/next BENCH_PR<n>.json)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.bench import (
+    BASELINE_PATH,
+    baseline_history,
+    compare_baseline,
+    latest_baseline_path,
+    next_baseline_path,
+)
+
+
+def seed_baselines(directory, numbers):
+    for n in numbers:
+        (directory / f"BENCH_PR{n}.json").write_text(
+            json.dumps({"sections": {}}))
+
+
+class TestBaselineChain:
+    def test_history_sorted_numerically(self, tmp_path):
+        seed_baselines(tmp_path, [10, 3, 5])
+        history = baseline_history(str(tmp_path))
+        assert [n for n, _ in history] == [3, 5, 10]
+        assert history[-1][1].endswith("BENCH_PR10.json")
+
+    def test_non_baseline_files_ignored(self, tmp_path):
+        seed_baselines(tmp_path, [3])
+        (tmp_path / "BENCH_PRx.json").write_text("{}")
+        (tmp_path / "notes.json").write_text("{}")
+        assert [n for n, _ in baseline_history(str(tmp_path))] == [3]
+
+    def test_latest_and_next(self, tmp_path):
+        seed_baselines(tmp_path, [3, 5])
+        assert latest_baseline_path(str(tmp_path)).endswith(
+            "BENCH_PR5.json")
+        assert next_baseline_path(str(tmp_path)).endswith(
+            "BENCH_PR6.json")
+
+    def test_empty_history_falls_back(self, tmp_path):
+        assert latest_baseline_path(str(tmp_path)).endswith(
+            BASELINE_PATH)
+        assert next_baseline_path(str(tmp_path)).endswith(
+            "BENCH_PR1.json")
+
+    def test_repo_chain_is_live(self):
+        """The committed baselines resolve (the CLI defaults to them)."""
+        history = baseline_history()
+        assert history, "no committed BENCH_PR<n>.json found"
+        numbers = [n for n, _ in history]
+        assert latest_baseline_path() == f"BENCH_PR{numbers[-1]}.json"
+        assert next_baseline_path() == f"BENCH_PR{numbers[-1] + 1}.json"
+
+
+class TestCompareBaseline:
+    SPEC = {"seed": 2004}
+
+    def report(self, speedup):
+        return {
+            "meta": {"spec": self.SPEC},
+            "sections": {"lut": {"speedup": speedup}},
+        }
+
+    def baseline_file(self, tmp_path, speedup):
+        path = tmp_path / "BENCH_PR9.json"
+        path.write_text(json.dumps(self.report(speedup)))
+        return str(path)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        path = self.baseline_file(tmp_path, speedup=1.0)
+        comparison, invariants = compare_baseline(self.report(0.80),
+                                                  path)
+        assert comparison["status"] == "compared"
+        assert invariants == {"baseline.lut.no_regression": True}
+
+    def test_regression_over_25_percent_fails(self, tmp_path):
+        path = self.baseline_file(tmp_path, speedup=1.0)
+        _, invariants = compare_baseline(self.report(0.70), path)
+        assert invariants["baseline.lut.no_regression"] is False
+
+    def test_missing_baseline_is_absent_not_a_failure(self, tmp_path):
+        missing = str(tmp_path / "BENCH_PR1.json")
+        comparison, invariants = compare_baseline(self.report(1.0),
+                                                  missing)
+        assert comparison["status"] == "absent"
+        assert invariants == {}
+
+    def test_spec_mismatch_skips_the_gate(self, tmp_path):
+        path = self.baseline_file(tmp_path, speedup=1.0)
+        other = self.report(1.0)
+        other["meta"] = {"spec": {"seed": 1}}
+        comparison, invariants = compare_baseline(other, path)
+        assert comparison["status"] == "spec-mismatch"
+        assert invariants == {}

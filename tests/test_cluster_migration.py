@@ -1,0 +1,104 @@
+"""Unit tests for drain/re-admit migration and its QoS ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    MigrationLedger,
+    MigrationRecord,
+    PlacedStream,
+    resume_spec,
+    select_victims,
+)
+from repro.serve import StreamSpec
+
+
+def placed(key, *, priorities=(0,), share=0.01, opened_ms=0.0,
+           blocks=None):
+    return PlacedStream(
+        stream_key=key,
+        array_id=0,
+        spec=StreamSpec(rate_mbps=0.375, priorities=priorities,
+                        blocks=blocks),
+        share=share,
+        opened_ms=opened_ms,
+    )
+
+
+class TestLedger:
+    def test_counts_and_bounds(self):
+        ledger = MigrationLedger(bound_ms=500.0)
+        ledger.record(MigrationRecord(1, 0, 2, 1000.0, 1500.0, "x"))
+        ledger.record(MigrationRecord(2, 0, 3, 1000.0, 1250.0, "x"))
+        assert ledger.migrated == 2
+        assert ledger.max_interruption_ms == 500.0
+        assert ledger.total_interruption_ms == 750.0
+        assert ledger.within_bound()
+
+    def test_over_bound_interruption_is_an_error(self):
+        ledger = MigrationLedger(bound_ms=500.0)
+        with pytest.raises(ValueError, match="exceeds"):
+            ledger.record(
+                MigrationRecord(1, 0, 2, 1000.0, 1501.0, "late"))
+        assert ledger.migrated == 0
+
+    def test_drops_count_separately_without_bound_check(self):
+        ledger = MigrationLedger(bound_ms=500.0)
+        ledger.record(MigrationRecord(1, 0, -1, 1000.0, 1000.0, "full"))
+        assert ledger.dropped == 1
+        assert ledger.migrated == 0
+        assert ledger.as_dict()["dropped"] == 1
+
+
+class TestVictimSelection:
+    def test_lowest_qos_class_evicted_first(self):
+        streams = [placed(0, priorities=(0,)), placed(1, priorities=(7,)),
+                   placed(2, priorities=(3,))]
+        victims = select_victims(streams, excess_share=0.015)
+        assert [v.stream_key for v in victims] == [1, 2]
+
+    def test_stream_key_breaks_priority_ties(self):
+        streams = [placed(3, priorities=(5,)), placed(9, priorities=(5,))]
+        victims = select_victims(streams, excess_share=0.005)
+        assert [v.stream_key for v in victims] == [9]
+
+    def test_selection_stops_once_excess_is_covered(self):
+        streams = [placed(k, priorities=(7,), share=0.1)
+                   for k in range(5)]
+        assert len(select_victims(streams, excess_share=0.25)) == 3
+
+    def test_no_excess_no_victims(self):
+        assert select_victims([placed(0)], excess_share=0.0) == []
+
+
+class TestResume:
+    def test_blocks_played_floor_of_elapsed_periods(self):
+        stream = placed(0, opened_ms=1000.0)
+        period = stream.spec.period_ms
+        assert stream.blocks_played(1000.0 + 2.5 * period) == 2
+        assert stream.blocks_played(500.0) == 0  # before open: clamp
+
+    def test_resume_spec_advances_playback_position(self):
+        stream = placed(0, opened_ms=0.0)
+        period = stream.spec.period_ms
+        resumed = resume_spec(stream, 3.5 * period)
+        assert resumed.start_block == stream.spec.start_block + 3
+        assert resumed.rate_mbps == stream.spec.rate_mbps
+
+    def test_advanced_shrinks_bounded_titles(self):
+        spec = StreamSpec(rate_mbps=0.375, blocks=10)
+        resumed = spec.advanced(4)
+        assert resumed.start_block == 4
+        assert resumed.blocks == 6
+
+    def test_advanced_keeps_exhausted_titles_constructible(self):
+        spec = StreamSpec(rate_mbps=0.375, blocks=3)
+        resumed = spec.advanced(50)
+        assert resumed.blocks == 1  # retires on first poll, but valid
+
+    def test_advanced_zero_is_identity(self):
+        spec = StreamSpec(rate_mbps=0.375)
+        assert spec.advanced(0) is spec
+        with pytest.raises(ValueError):
+            spec.advanced(-1)

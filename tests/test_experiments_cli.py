@@ -31,6 +31,7 @@ class TestMain:
         out = capsys.readouterr().out
         for name in EXPERIMENTS:
             assert name in out
+        assert "cluster" in out
 
     def test_run_table1(self, capsys):
         assert main(["run", "table1"]) == 0

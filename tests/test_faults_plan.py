@@ -117,6 +117,36 @@ class TestFaultPlanQueries:
         assert [w.start_ms for w in windows] == [10.0, 50.0]
         assert [w.disk for w in plan.failure_windows(2)] == [2]
 
+    def test_rebuild_windows_extend_the_outage(self):
+        plan = FaultPlan([DiskFailure(0, 100.0, 200.0)])
+        assert plan.rebuild_windows(rebuild_ms=50.0) == [(100.0, 250.0)]
+        # Zero tail degenerates to the raw failure window.
+        assert plan.rebuild_windows() == [(100.0, 200.0)]
+
+    def test_rebuild_windows_merge_overlapping_episodes(self):
+        plan = FaultPlan([
+            DiskFailure(0, 100.0, 200.0),
+            DiskFailure(1, 240.0, 300.0),  # tail of first reaches this
+            DiskFailure(0, 500.0, 600.0),
+        ])
+        merged = plan.rebuild_windows(rebuild_ms=50.0)
+        assert merged == [(100.0, 350.0), (500.0, 650.0)]
+        # Per-disk filter sees only that disk's episodes.
+        assert plan.rebuild_windows(0, rebuild_ms=50.0) == \
+            [(100.0, 250.0), (500.0, 650.0)]
+
+    def test_rebuild_windows_back_to_back_join(self):
+        plan = FaultPlan([
+            DiskFailure(0, 0.0, 100.0),
+            DiskFailure(0, 150.0, 200.0),
+        ])
+        # 100 + 50 tail touches 150 exactly: one degradation episode.
+        assert plan.rebuild_windows(rebuild_ms=50.0) == [(0.0, 250.0)]
+
+    def test_rebuild_windows_negative_tail_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan().rebuild_windows(rebuild_ms=-1.0)
+
 
 class TestSeededRolls:
     @given(request_id=st.integers(0, 1000), attempt=st.integers(1, 4))
