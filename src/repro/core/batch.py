@@ -32,19 +32,38 @@ from .request import DiskRequest
 @instrumented("characterize_batch")
 def characterize_batch(encapsulator: Encapsulator,
                        requests: Sequence[DiskRequest],
-                       ctx: EncodeContext) -> np.ndarray:
-    """v_c of every request, identical to per-request characterize."""
+                       ctx: EncodeContext,
+                       nows: np.ndarray | None = None) -> np.ndarray:
+    """v_c of every request, identical to per-request characterize.
+
+    ``nows`` optionally supplies one clock value *per request* (the
+    batched engine characterizes whole arrival spans at once, each
+    request as of its own arrival instant); when given it overrides
+    ``ctx.now_ms`` element-wise.  Stage arithmetic is identical
+    left-associated float64 either way, so per-request values are
+    bit-identical to a scalar characterize at that request's clock.
+    """
     if not requests:
         return np.zeros(0)
     if not _fast_path_applies(encapsulator):
+        if nows is None:
+            return np.array([
+                encapsulator.characterize(request, ctx)
+                for request in requests
+            ])
         return np.array([
-            encapsulator.characterize(request, ctx)
-            for request in requests
+            encapsulator.characterize(
+                request,
+                EncodeContext(now_ms=float(now),
+                              head_cylinder=ctx.head_cylinder),
+            )
+            for request, now in zip(requests, nows)
         ])
 
     stage1 = encapsulator.stage1
     stage2 = encapsulator.stage2
     stage3 = encapsulator.stage3
+    now_ms = ctx.now_ms if nows is None else nows
 
     if stage1 is not None:
         values = stage1.encode_many(
@@ -57,12 +76,12 @@ def characterize_batch(encapsulator: Encapsulator,
 
     if stage2 is not None:
         values = _weighted_batch(stage2, values, cells, requests,
-                                 ctx.now_ms)
+                                 now_ms)
         cells = stage2.output_cells
 
     if stage3 is not None:
         if isinstance(stage2, WeightedDeadlineStage):
-            floor = stage2.floor_value(ctx.now_ms)
+            floor = stage2.floor_value(now_ms)
             values = np.maximum(values - floor, 0.0)
         values = _partitioned_batch(stage3, values, cells, requests,
                                     ctx.head_cylinder)
@@ -101,7 +120,7 @@ def _rescale_batch(values: np.ndarray, in_cells: int,
 
 def _weighted_batch(stage: WeightedDeadlineStage, values: np.ndarray,
                     cells: int, requests: Sequence[DiskRequest],
-                    now_ms: float) -> np.ndarray:
+                    now_ms: float | np.ndarray) -> np.ndarray:
     p = _rescale_batch(values, cells, stage.grid)
     deadlines = np.array([request.deadline_ms for request in requests])
     relaxed = np.isinf(deadlines)

@@ -166,6 +166,33 @@ class CascadedSFCScheduler(Scheduler):
         for request, vc in zip(requests, values):
             self._dispatcher.insert(request, float(vc))
 
+    def submit_many(self, requests: Sequence[DiskRequest], nows,
+                    head_cylinder: int) -> None:
+        """Submit a span of requests, each at its own arrival clock.
+
+        One vectorized characterize for the whole span with a
+        per-request ``now`` column (see
+        :func:`repro.core.batch.characterize_batch`); insertion order
+        is preserved so dispatcher window state evolves exactly as
+        under per-request submits.  With an active observer this falls
+        back to per-request submits so spans record stage scalars.
+        """
+        if self._obs is not None:
+            for request, now in zip(requests, nows):
+                self.submit(request, float(now), head_cylinder)
+            return
+        import numpy as np
+
+        from .batch import characterize_batch
+        nows = np.asarray(nows, dtype=np.float64)
+        last = float(nows[-1]) if len(nows) else 0.0
+        ctx = EncodeContext(now_ms=last, head_cylinder=head_cylinder)
+        values = characterize_batch(self._encapsulator, requests, ctx,
+                                    nows=nows)
+        insert = self._dispatcher.insert
+        for request, vc in zip(requests, values):
+            insert(request, float(vc))
+
     def recharacterize(self, now: float, head_cylinder: int) -> int:
         """Re-key every pending request to its v_c at (now, head).
 

@@ -346,6 +346,13 @@ def main(argv: list[str] | None = None) -> int:
                                "(default: results/cluster_qos.json "
                                "under --quick; use '' to skip)")
     args = parser.parse_args(argv)
+
+    # Amortize curve-LUT builds across experiment runs: enable the
+    # repo-local persistent cache unless the user already configured
+    # the tier (explicitly or via environment).
+    from repro.sfc import lut_cache
+    lut_cache.ensure_default()
+
     if getattr(args, "out", None) == "":
         args.out = None
     elif (args.command == "bench" and args.out is None

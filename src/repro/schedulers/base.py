@@ -43,6 +43,19 @@ class Scheduler(ABC):
     def __len__(self) -> int:
         """Number of waiting requests."""
 
+    def submit_many(self, requests, nows, head_cylinder: int) -> None:
+        """Accept a span of requests, each arriving at its own clock.
+
+        ``nows`` holds one timestamp per request (non-decreasing).
+        Semantically identical to calling :meth:`submit` in order; the
+        batched engine uses this for arrival spans that fall inside one
+        busy period, where the head position is constant.  Vectorizing
+        schedulers override it (see
+        :meth:`repro.core.CascadedSFCScheduler.submit_many`).
+        """
+        for request, now in zip(requests, nows):
+            self.submit(request, float(now), head_cylinder)
+
     def on_served(self, request: DiskRequest, completion_ms: float) -> None:
         """Hook: the disk finished serving ``request``.
 

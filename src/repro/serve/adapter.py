@@ -97,7 +97,9 @@ def replay_ramp_offline(events: Sequence[RampEvent],
                         seed: int = 0,
                         until_ms: float,
                         drop_expired: bool = True,
-                        priority_levels: int = 8) -> OfflineRamp:
+                        priority_levels: int = 8,
+                        record_timeline: bool = False,
+                        engine: str | None = None) -> OfflineRamp:
     """Replay the ramp's admission decisions, then simulate offline.
 
     Mirrors the online decision path for load-independent policies: the
@@ -137,6 +139,8 @@ def replay_ramp_offline(events: Sequence[RampEvent],
         requests, scheduler, service,
         drop_expired=drop_expired,
         priority_levels=priority_levels,
+        record_timeline=record_timeline,
+        engine=engine,
     )
     return OfflineRamp(decisions=decisions, requests=requests,
                        result=result)

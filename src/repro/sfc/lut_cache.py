@@ -108,6 +108,26 @@ def configured() -> str | None:
     return _configured_dir
 
 
+#: Repo-local default directory (gitignored) used when bench and the
+#: experiments CLI amortize LUT builds across runs.
+DEFAULT_LOCAL_DIR = ".repro-sfc-cache"
+
+
+def ensure_default(directory: str | os.PathLike = DEFAULT_LOCAL_DIR
+                   ) -> str | None:
+    """Enable the persistent tier at ``directory`` unless the user
+    already decided (an explicit :func:`configure` call or either
+    environment variable wins, including a forced-off ``""``).
+
+    Returns the previous :func:`configured` value so callers that want
+    run-local scope can restore it afterwards.
+    """
+    previous = _configured_dir
+    if _configured_dir is None and cache_dir() is None:
+        configure(directory)
+    return previous
+
+
 def cache_dir() -> Path | None:
     """The active cache directory, or None when the tier is disabled."""
     if _configured_dir is not None:

@@ -1,8 +1,10 @@
 """Event-driven disk-server simulator and metrics."""
 
 from .array import ArrayResult, LogicalRequest, run_array_simulation
+from .batched import run_batched_simulation
 from .engine import EventQueue, EventToken
 from .metrics import MetricsCollector, linear_weights
+from .soa import InversionLedger, RequestColumns
 from .report import (
     format_comparison,
     format_result,
@@ -10,7 +12,13 @@ from .report import (
     summarize_metrics,
 )
 from .rng import derive, exponential_interarrivals
-from .server import SimulationResult, TimelineEntry, run_simulation
+from .server import (
+    ENGINES,
+    SimulationResult,
+    TimelineEntry,
+    resolve_engine,
+    run_simulation,
+)
 from .service import (
     DiskService,
     ServiceModel,
@@ -20,12 +28,15 @@ from .service import (
 )
 
 __all__ = [
+    "ENGINES",
     "ArrayResult",
     "DiskService",
     "EventQueue",
     "EventToken",
+    "InversionLedger",
     "LogicalRequest",
     "MetricsCollector",
+    "RequestColumns",
     "ServiceModel",
     "SimulationResult",
     "SyntheticService",
@@ -38,7 +49,9 @@ __all__ = [
     "linear_weights",
     "miss_histogram",
     "priority_scaled_service",
+    "resolve_engine",
     "run_array_simulation",
+    "run_batched_simulation",
     "run_simulation",
     "summarize_metrics",
 ]

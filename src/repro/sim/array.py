@@ -467,6 +467,37 @@ class _ArrayState:
             )
 
 
+def _run_arrival_pump(queue: EventQueue, state: _ArrayState,
+                      ordered: Sequence[LogicalRequest]) -> None:
+    """Drive the array run with arrivals held outside the event heap.
+
+    The batched engine's counterpart of scheduling one heap event per
+    logical arrival: arrivals stay in their sorted column and are
+    interleaved with the heap's dynamic events (completions, retries,
+    rebuild stripes, refreshes) by comparing (time, sequence) keys.
+    The pump reserves the exact sequence-number block the legacy loop
+    would have assigned to the arrivals, so every tie -- rebuild
+    before arrival, arrival before completion -- resolves identically
+    and the run is bit-identical by construction.
+    """
+    times = [max(request.arrival_ms, 0.0) for request in ordered]
+    base = queue.reserve_sequences(len(ordered))
+    i = 0
+    n = len(ordered)
+    while True:
+        heap_key = queue.peek_key()
+        if i < n:
+            arrival_key = (times[i], base + i)
+            if heap_key is None or arrival_key < heap_key:
+                queue.advance_to(times[i])
+                state.submit_logical(ordered[i])
+                i += 1
+                continue
+        if heap_key is None:
+            return
+        queue.step()
+
+
 def _placeholder(request: LogicalRequest) -> DiskRequest:
     """A DiskRequest stand-in so the metrics collector can account a
     completed logical request."""
@@ -495,6 +526,7 @@ def run_array_simulation(
     recharacterize_every_ms: float | None = None,
     observer: Observer | None = None,
     member_jobs: int | None = None,
+    engine: str | None = None,
 ) -> ArrayResult:
     """Replay logical block requests against a RAID-5 array.
 
@@ -528,9 +560,20 @@ def run_array_simulation(
     concurrently between array-level barrier points, with results
     matching this serial engine (the differential tests pin equality).
     ``None``/``0``/``1`` keep the serial event loop below.
+
+    ``engine`` selects ``"legacy"`` (arrivals live in the event heap)
+    or ``"batched"`` (arrivals consumed from a sorted column by the
+    arrival pump, bit-identical by construction -- the pump reserves
+    the same sequence numbers the heap would have assigned, so every
+    (time, sequence) tie resolves identically).  ``None`` consults
+    ``$REPRO_SIM_ENGINE``.  Orthogonal to ``member_jobs``, which
+    bypasses this event loop entirely in both engines.
     """
+    from .server import resolve_engine
+
     if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
         raise ValueError("recharacterize_every_ms must be positive")
+    engine = resolve_engine(engine)
     raid = raid or Raid5Array(disks=5)
     if failed_disk is not None and not 0 <= failed_disk < raid.disks:
         raise ValueError(f"failed_disk {failed_disk} out of range")
@@ -606,14 +649,16 @@ def run_array_simulation(
     if rebuild is not None:
         state.schedule_rebuild(rebuild, dims, priority_levels)
 
-    for request in sorted(requests,
-                          key=lambda r: (r.arrival_ms, r.request_id)):
-        queue.schedule(
-            max(request.arrival_ms, 0.0),
-            lambda req=request: state.submit_logical(req),
-        )
-
-    queue.run()
+    ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+    if engine == "batched":
+        _run_arrival_pump(queue, state, ordered)
+    else:
+        for request in ordered:
+            queue.schedule(
+                max(request.arrival_ms, 0.0),
+                lambda req=request: state.submit_logical(req),
+            )
+        queue.run()
 
     return ArrayResult(
         logical_metrics=logical_metrics,

@@ -1,0 +1,344 @@
+"""Batched structure-of-arrays disk-server engine.
+
+``run_batched_simulation`` replays the same workload contract as the
+legacy event loop in :mod:`repro.sim.server`, but plans the run over
+numpy columns (:class:`repro.sim.soa.RequestColumns`) instead of one
+heap event per request:
+
+* **Event barriers, not a heap.**  At any instant the engine has at
+  most two dynamic events outstanding -- the in-flight completion and
+  the optional re-characterization timer -- so the next event is a
+  three-way minimum over (time, sequence) keys, with the pre-assigned
+  arrival sequences 0..n-1 reproducing the legacy heap's tie order
+  exactly (arrivals always beat dynamic events scheduled later).
+* **Vectorized arrival epochs.**  While the disk is busy, every
+  arrival strictly inside the current barrier is a pure scheduler
+  submit; the span boundary is one ``np.searchsorted`` and the span
+  is characterized in one :func:`repro.core.batch.characterize_batch`
+  call with a per-request ``now`` column.  When the scheduler's v_c
+  depends only on (request, arrival clock) -- the paper configuration:
+  cascaded stages with the fixed sweep origin -- the whole run's SFC
+  keys are precomputed in a single batch call before the loop starts.
+* **Ledger inversions.**  Priority inversions are charged from
+  per-level occupancy tables (:class:`repro.sim.soa.InversionLedger`)
+  in O(levels) per dispatch instead of the legacy O(queue x dims)
+  Python scan; integer arithmetic, so tallies are identical.
+
+The legacy engine remains the differential oracle: the batched path
+must reproduce its metrics, timeline, and QoS output bit-for-bit
+(``tests/test_engine_differential.py`` and the golden traces pin
+this).  With a live observer the engine degrades to per-arrival
+submits so hook order is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.request import DiskRequest
+from repro.obs.observer import Observer
+from repro.schedulers.base import Scheduler
+
+from .metrics import MetricsCollector
+from .server import SimulationResult, TimelineEntry
+from .service import ServiceModel
+from .soa import (
+    DISPATCHED,
+    DROPPED,
+    PENDING,
+    SERVED,
+    UNSERVED,
+    InversionLedger,
+    RequestColumns,
+)
+
+
+def precompute_sfc_keys(scheduler: Scheduler, columns: RequestColumns,
+                        observer: Observer | None) -> np.ndarray | None:
+    """Whole-run v_c column when submit is a pure (request, clock) map.
+
+    Applies to the stock :class:`repro.core.CascadedSFCScheduler` with
+    fast-path stages and the paper's fixed sweep origin
+    (``seek_track_head=False``): v_c then never reads the head
+    position, so every request's insertion key is known at t=0 and one
+    ``characterize_batch`` call with the arrival column as per-request
+    clocks replaces n scalar characterizations.  Returns None when the
+    precondition fails (custom stages, head-tracking stage 3, live
+    observer) -- the engine then characterizes span by span.
+    """
+    if observer is not None:
+        return None
+    from repro.core.batch import _fast_path_applies, characterize_batch
+    from repro.core.encapsulator import EncodeContext
+    from repro.core.scheduler import CascadedSFCScheduler
+    if type(scheduler) is not CascadedSFCScheduler:
+        return None
+    encapsulator = scheduler.encapsulator
+    if not _fast_path_applies(encapsulator):
+        return None
+    stage3 = encapsulator.stage3
+    if stage3 is not None and getattr(stage3, "track_head", False):
+        return None
+    ctx = EncodeContext(now_ms=0.0, head_cylinder=0)
+    return characterize_batch(encapsulator, columns.requests, ctx,
+                              nows=columns.arrival_ms)
+
+
+def run_batched_simulation(ordered: list[DiskRequest],
+                           scheduler: Scheduler,
+                           service: ServiceModel,
+                           metrics: MetricsCollector,
+                           *,
+                           drop_expired: bool,
+                           stop_at_ms: float | None,
+                           record_timeline: bool,
+                           recharacterize_every_ms: float | None,
+                           observer: Observer | None) -> SimulationResult:
+    """Run the SoA engine over ``ordered`` (already arrival-sorted)."""
+    columns = RequestColumns.from_requests(ordered,
+                                           metrics.priority_dims)
+    columns.sfc_key = precompute_sfc_keys(scheduler, columns, observer)
+    run = _BatchedRun(columns, scheduler, service, metrics,
+                      drop_expired=drop_expired, stop_at_ms=stop_at_ms,
+                      record_timeline=record_timeline,
+                      recharacterize_every_ms=recharacterize_every_ms,
+                      observer=observer)
+    run.execute()
+    return SimulationResult(
+        scheduler_name=scheduler.name,
+        metrics=metrics,
+        submitted=len(ordered),
+        unserved=len(scheduler),
+        timeline=run.timeline,
+    )
+
+
+class _BatchedRun:
+    """One engine execution: the barrier loop and its event handlers."""
+
+    def __init__(self, columns: RequestColumns, scheduler: Scheduler,
+                 service: ServiceModel, metrics: MetricsCollector, *,
+                 drop_expired: bool, stop_at_ms: float | None,
+                 record_timeline: bool,
+                 recharacterize_every_ms: float | None,
+                 observer: Observer | None) -> None:
+        self.columns = columns
+        self.scheduler = scheduler
+        self.service = service
+        self.metrics = metrics
+        self.drop_expired = drop_expired
+        self.stop_at_ms = stop_at_ms
+        self.refresh_every = recharacterize_every_ms
+        self.obs = observer
+        self.timeline: list[TimelineEntry] | None = (
+            [] if record_timeline else None)
+        self.ledger = InversionLedger(columns.priorities)
+        self.index_of = {id(request): i
+                         for i, request in enumerate(columns.requests)}
+        self.busy = False
+        self.now = 0.0
+        # Dynamic events replicate the legacy heap's sequence counter:
+        # arrivals hold 0..n-1, completions/refreshes draw n, n+1, ...
+        # in scheduling order, so (time, sequence) ties break the same.
+        self._seq = len(columns)
+        self._completion: tuple[float, int, DiskRequest] | None = None
+        self._refresh: tuple[float, int] | None = None
+        self._can_refresh = (
+            recharacterize_every_ms is not None
+            and getattr(scheduler, "recharacterize", None) is not None
+        )
+
+    # -- sequence / refresh bookkeeping -----------------------------------
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _arm_refresh(self) -> None:
+        if not self._can_refresh or self._refresh is not None:
+            return
+        self._refresh = (self.now + self.refresh_every, self._next_seq())
+
+    # -- the barrier loop --------------------------------------------------
+
+    def execute(self) -> None:
+        columns = self.columns
+        n = len(columns)
+        arrivals = columns.arrival_ms.tolist()
+        stop = self.stop_at_ms
+        i = 0
+        while True:
+            kind = None
+            time = seq = 0
+            if i < n:
+                kind, time, seq = "arrival", arrivals[i], i
+            completion = self._completion
+            if completion is not None and (
+                    kind is None
+                    or (completion[0], completion[1]) < (time, seq)):
+                kind, time, seq = "completion", completion[0], completion[1]
+            refresh = self._refresh
+            if refresh is not None and (
+                    kind is None or (refresh[0], refresh[1]) < (time, seq)):
+                kind, time, seq = "refresh", refresh[0], refresh[1]
+            if kind is None:
+                break
+            if stop is not None and time > stop:
+                self.now = stop
+                break
+            self.now = time
+            if kind == "arrival":
+                i = self._on_arrivals(i)
+            elif kind == "completion":
+                self._on_completion()
+            else:
+                self._on_refresh()
+        state = columns.state
+        state[:i][state[:i] == PENDING] = UNSERVED
+
+    # -- event handlers ----------------------------------------------------
+
+    def _on_arrivals(self, i: int) -> int:
+        """Fire arrival ``i``; bulk-submit its whole epoch when legal."""
+        if not self.busy or self.obs is not None:
+            # Idle (each arrival may dispatch immediately) or observed
+            # (per-request hook order): replicate the legacy arrival
+            # handler one request at a time.
+            self._single_arrival(i)
+            return i + 1
+        if self._can_refresh and self._refresh is None:
+            # The first arrival of a busy epoch arms the refresh timer
+            # at its own clock; submit it alone so the barrier below
+            # sees the new timer.
+            self._single_arrival(i)
+            return i + 1
+        # Busy and unobserved: every arrival up to the next dynamic
+        # event is a pure submit (try_dispatch no-ops while busy, the
+        # refresh timer is already armed or impossible).  Arrivals tie
+        # ahead of dynamic events, so the span is inclusive of the
+        # barrier instant.
+        barrier = self._completion[0]
+        if self._refresh is not None and self._refresh[0] < barrier:
+            barrier = self._refresh[0]
+        if self.stop_at_ms is not None and self.stop_at_ms < barrier:
+            # Arrivals past the hard stop never fire in the legacy
+            # engine; an arrival exactly at the stop instant still does.
+            barrier = self.stop_at_ms
+        end = int(np.searchsorted(self.columns.arrival_ms, barrier,
+                                  side="right"))
+        if end <= i:
+            end = i + 1
+        self._submit_span(i, end)
+        return end
+
+    def _single_arrival(self, i: int) -> None:
+        request = self.columns.requests[i]
+        now = self.now
+        obs = self.obs
+        if obs is not None:
+            obs.on_arrival(request, now)
+        self._submit_one(i, now)
+        if obs is not None:
+            obs.ensure_enqueued(request, now)
+            obs.on_queue_depth(now, len(self.scheduler))
+        self._try_dispatch()
+        if len(self.scheduler):
+            self._arm_refresh()
+
+    def _submit_one(self, i: int, now: float) -> None:
+        request = self.columns.requests[i]
+        keys = self.columns.sfc_key
+        if keys is not None:
+            self.scheduler.dispatcher.insert(request, float(keys[i]))
+        else:
+            self.scheduler.submit(request, now,
+                                  self.service.head_cylinder)
+        self.ledger.add(i)
+
+    def _submit_span(self, start: int, end: int) -> None:
+        columns = self.columns
+        requests = columns.requests
+        keys = columns.sfc_key
+        ledger = self.ledger
+        if keys is not None:
+            insert = self.scheduler.dispatcher.insert
+            for j in range(start, end):
+                insert(requests[j], float(keys[j]))
+                ledger.add(j)
+            return
+        self.scheduler.submit_many(requests[start:end],
+                                   columns.arrival_ms[start:end],
+                                   self.service.head_cylinder)
+        for j in range(start, end):
+            ledger.add(j)
+
+    def _try_dispatch(self) -> None:
+        scheduler = self.scheduler
+        service = self.service
+        metrics = self.metrics
+        columns = self.columns
+        while not self.busy:
+            now = self.now
+            request = scheduler.next_request(now, service.head_cylinder)
+            if request is None:
+                return
+            index = self.index_of[id(request)]
+            self.ledger.remove(index)
+            metrics.note_queue_length(len(scheduler) + 1)
+            obs = self.obs
+            if self.drop_expired and now >= request.deadline_ms:
+                columns.state[index] = DROPPED
+                metrics.on_complete(request, now, dropped=True)
+                scheduler.on_served(request, now)
+                if obs is not None:
+                    obs.on_drop(request, now, "expired")
+                if self.timeline is not None:
+                    self.timeline.append(TimelineEntry(
+                        request.request_id, now, now,
+                        len(scheduler), dropped=True,
+                    ))
+                continue
+            metrics.add_inversions(self.ledger.inversions_of(index))
+            record = service.serve(request, now)
+            metrics.on_service(record.seek_ms, record.latency_ms,
+                               record.transfer_ms)
+            if obs is not None:
+                obs.on_dispatch(request, now)
+                obs.on_service(request, now, seek_ms=record.seek_ms,
+                               latency_ms=record.latency_ms,
+                               transfer_ms=record.transfer_ms)
+            completion = now + record.total_ms
+            if self.timeline is not None:
+                self.timeline.append(TimelineEntry(
+                    request.request_id, now, completion,
+                    len(scheduler),
+                ))
+            columns.state[index] = DISPATCHED
+            self.busy = True
+            self._completion = (completion, self._next_seq(), request)
+            return
+
+    def _on_completion(self) -> None:
+        _, _, request = self._completion
+        self._completion = None
+        self.busy = False
+        now = self.now
+        self.metrics.on_complete(request, now)
+        self.columns.state[self.index_of[id(request)]] = SERVED
+        self.scheduler.on_served(request, now)
+        if self.obs is not None:
+            self.obs.on_complete(request, now,
+                                 missed=now > request.deadline_ms)
+        self._try_dispatch()
+
+    def _on_refresh(self) -> None:
+        self._refresh = None
+        scheduler = self.scheduler
+        if len(scheduler):
+            scheduler.recharacterize(  # type: ignore[attr-defined]
+                self.now, self.service.head_cylinder
+            )
+            self._try_dispatch()
+            if len(scheduler):
+                self._arm_refresh()

@@ -59,6 +59,45 @@ class EventQueue:
         heapq.heappush(self._heap, event)
         return EventToken(event)
 
+    def reserve_sequences(self, count: int) -> int:
+        """Consume ``count`` sequence numbers; return the first one.
+
+        The batched array engine keeps logical arrivals outside the
+        heap but must preserve the (time, sequence) tie order the
+        legacy engine would have produced; reserving a contiguous
+        block at the point where the arrivals *would* have been
+        scheduled pins later dynamic events behind them.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return -1
+        first = next(self._sequence)
+        for _ in range(count - 1):
+            next(self._sequence)
+        return first
+
+    def peek_key(self) -> tuple[float, int] | None:
+        """(time, sequence) of the next live event, or None when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        event = self._heap[0]
+        return (event.time_ms, event.sequence)
+
+    def advance_to(self, time_ms: float) -> None:
+        """Move the clock forward without firing anything.
+
+        Used by external event sources (the arrival pump) that fire
+        their own callbacks interleaved with the heap's.
+        """
+        if time_ms < self._now:
+            raise ValueError(
+                f"cannot advance to {time_ms} before now={self._now}"
+            )
+        self._now = time_ms
+
     def step(self) -> bool:
         """Fire the next event; False when the queue is exhausted."""
         while self._heap:

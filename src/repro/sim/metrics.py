@@ -80,6 +80,18 @@ class MetricsCollector:
                 if other.priorities[k] < request.priorities[k]:
                     self.inversions_by_dim[k] += 1
 
+    def add_inversions(self, counts: Sequence[int]) -> None:
+        """Credit pre-counted inversions, one count per dimension.
+
+        Used by the batched engine, whose inversion ledger counts the
+        same strictly-higher-priority waiting requests as
+        :meth:`on_dispatch` without iterating the queue (see
+        :class:`repro.sim.soa.InversionLedger`).
+        """
+        by_dim = self.inversions_by_dim
+        for k, count in enumerate(counts):
+            by_dim[k] += count
+
     def note_queue_length(self, length: int) -> None:
         self.queue_length.add(length)
 

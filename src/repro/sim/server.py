@@ -8,6 +8,7 @@ so all schedulers see byte-identical workloads and timing rules.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -56,6 +57,25 @@ class SimulationResult:
         return self.metrics.seek_ms
 
 
+#: Environment override consulted when ``engine`` is not passed
+#: explicitly; the CI differential lane sets it to "batched" to run
+#: the whole quick suite through the SoA engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+ENGINES = ("legacy", "batched")
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate the engine choice; None defers to $REPRO_SIM_ENGINE."""
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "legacy"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
+
 def run_simulation(requests: Sequence[DiskRequest],
                    scheduler: Scheduler,
                    service: ServiceModel,
@@ -66,7 +86,8 @@ def run_simulation(requests: Sequence[DiskRequest],
                    priority_levels: int = 16,
                    record_timeline: bool = False,
                    recharacterize_every_ms: float | None = None,
-                   observer: Observer | None = None
+                   observer: Observer | None = None,
+                   engine: str | None = None
                    ) -> SimulationResult:
     """Simulate serving ``requests`` (sorted by arrival) with ``scheduler``.
 
@@ -98,12 +119,26 @@ def run_simulation(requests: Sequence[DiskRequest],
         spans, registry metrics, and queue-depth samples for this run.
         Defaults to off (:data:`repro.obs.NULL_OBSERVER` semantics) with
         no behavioural or measurable timing impact.
+    engine:
+        ``"legacy"`` (the event-heap loop below) or ``"batched"`` (the
+        structure-of-arrays engine in :mod:`repro.sim.batched`, which
+        reproduces this loop's metrics, timeline, and QoS output
+        bit-for-bit -- the differential tests pin it).  ``None``
+        consults ``$REPRO_SIM_ENGINE``, defaulting to legacy.
     """
     if recharacterize_every_ms is not None and recharacterize_every_ms <= 0:
         raise ValueError("recharacterize_every_ms must be positive")
+    engine = resolve_engine(engine)
     ordered = sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
     if priority_dims is None:
         priority_dims = len(ordered[0].priorities) if ordered else 0
+    for request in ordered:
+        if len(request.priorities) != priority_dims:
+            raise ValueError(
+                f"request {request.request_id} has "
+                f"{len(request.priorities)} priorities, expected "
+                f"{priority_dims}"
+            )
     metrics = MetricsCollector(priority_dims, priority_levels)
 
     obs = live(observer)
@@ -111,6 +146,16 @@ def run_simulation(requests: Sequence[DiskRequest],
         scheduler.bind_observer(obs)
         obs.watch_scheduler(scheduler)
         metrics.publish_into(obs.registry)
+
+    if engine == "batched":
+        from .batched import run_batched_simulation
+        return run_batched_simulation(
+            ordered, scheduler, service, metrics,
+            drop_expired=drop_expired, stop_at_ms=stop_at_ms,
+            record_timeline=record_timeline,
+            recharacterize_every_ms=recharacterize_every_ms,
+            observer=obs,
+        )
 
     queue = EventQueue()
     state = _ServerState(scheduler, service, metrics, queue, drop_expired,
@@ -120,12 +165,6 @@ def run_simulation(requests: Sequence[DiskRequest],
         state.timeline = []
 
     for request in ordered:
-        if len(request.priorities) != priority_dims:
-            raise ValueError(
-                f"request {request.request_id} has "
-                f"{len(request.priorities)} priorities, expected "
-                f"{priority_dims}"
-            )
         queue.schedule(max(request.arrival_ms, 0.0),
                        _Arrival(state, request))
 

@@ -6,6 +6,7 @@ import json
 
 from repro.experiments.bench import (
     BASELINE_PATH,
+    SECTIONS,
     baseline_history,
     compare_baseline,
     latest_baseline_path,
@@ -94,3 +95,52 @@ class TestCompareBaseline:
         comparison, invariants = compare_baseline(other, path)
         assert comparison["status"] == "spec-mismatch"
         assert invariants == {}
+
+    def test_noise_gated_rows_are_not_compared(self, tmp_path):
+        """A row either report marks ``speedup_gated: False`` is
+        recorded context, not a comparable number (e.g. a multi-worker
+        sweep on a 1-core host) -- no invariant may be derived from it."""
+        base = {
+            "meta": {"spec": self.SPEC},
+            "sections": {"par": {"rows": [
+                {"label": "sweep", "speedup": 2.0,
+                 "speedup_gated": False},
+                {"label": "lut", "speedup": 10.0},
+            ]}},
+        }
+        current = json.loads(json.dumps(base))
+        current["sections"]["par"]["rows"][0]["speedup"] = 0.2
+        current["sections"]["par"]["rows"][1]["speedup"] = 9.0
+        path = tmp_path / "BENCH_PR9.json"
+        path.write_text(json.dumps(base))
+        _, invariants = compare_baseline(current, str(path))
+        assert invariants == {"baseline.par.lut.no_regression": True}
+
+
+class TestSectionLayout:
+    """The report layout the CI artifacts and docs reference."""
+
+    def test_end_to_end_split_into_cold_and_warm(self):
+        names = [name for name, _ in SECTIONS]
+        assert "end_to_end_cold" in names
+        assert "end_to_end_warm" in names
+        # The mixed-cost section the split replaced must stay gone:
+        # re-adding it would corrupt the drift comparison.
+        assert "end_to_end" not in names
+
+    def test_committed_baseline_has_the_split_sections(self):
+        """The latest committed BENCH_PR<n>.json records the split
+        end-to-end sections with engine comparison and bit-identity."""
+        with open(latest_baseline_path(), encoding="utf-8") as fh:
+            report = json.load(fh)
+        sections = report["sections"]
+        for name in ("end_to_end_cold", "end_to_end_warm"):
+            assert name in sections
+            assert {"legacy_s", "batched_s", "speedup"} \
+                <= sections[name].keys()
+        assert report["invariants"]["end_to_end_cold.bit_identical"]
+        assert report["invariants"]["end_to_end_warm.bit_identical"]
+        assert report["invariants"]["end_to_end_warm.batched_5x"]
+        # Full-spec baselines gate the 5x warm target for real.
+        if report["meta"]["spec"] == "full":
+            assert sections["end_to_end_warm"]["speedup"] >= 5.0

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import replace
 from pathlib import Path
 
+import pytest
+
 from repro.cluster import ClusterController, build_report
 from repro.experiments.cluster_demo import (
     ClusterSpec,
@@ -77,6 +79,7 @@ def test_decision_log_matches_golden():
         == golden.rstrip(b"\n")
 
 
+@pytest.mark.slow
 def test_fleet_fingerprint_serial_equals_jobs_4():
     """Serving the plan at --jobs 4 is bit-identical to serial."""
     plan = decision_plan(GOLDEN_SPEC)

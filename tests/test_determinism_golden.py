@@ -7,11 +7,19 @@ treatment at event granularity: two identical-seed ramps must replay a
 byte-identical :class:`~repro.serve.TraceLog`, and a small pinned
 golden trace (``tests/golden/serve_trace.txt``) guards against
 accidental behavior drift between sessions.
+
+The batched SoA engine gets its own pinned replays: the golden serve
+ramp and the golden cluster scenario are materialized offline and run
+through **both** engines -- the serialized outcome (decisions,
+dispatch timeline, metrics fingerprint) must match byte for byte
+between engines, and match the pinned golden files
+(``serve_replay.txt`` / ``cluster_replay.txt``) across sessions.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from hashlib import sha256
 from pathlib import Path
 
 import pytest
@@ -21,7 +29,9 @@ from repro.experiments.export import table_to_csv
 from repro.experiments.cli import _tables_of
 from repro.experiments.serve_demo import ServeSpec, build_server, ramp_events
 from repro.experiments.faults_scenario import serialize_trace
+from repro.parallel import metrics_fingerprint
 from repro.serve import run_ramp_online
+from repro.sim import ENGINES
 
 # fig10/fig11 are the slow ones; two runs each still fit comfortably.
 FAST = ("table1", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9")
@@ -69,13 +79,148 @@ def test_serve_trace_matches_golden():
 
 
 def regenerate_golden() -> None:
-    """Rewrite the golden file after an *intentional* behavior change.
+    """Rewrite the golden files after an *intentional* behavior change.
 
     Run ``python -c "import sys; sys.path.insert(0, 'src');
     sys.path.insert(0, '.'); from tests.test_determinism_golden import
     regenerate_golden; regenerate_golden()"`` from the repo root.
     """
     GOLDEN_DIR.mkdir(exist_ok=True)
-    path = GOLDEN_DIR / "serve_trace.txt"
-    path.write_bytes(serve_trace(GOLDEN_SPEC) + b"\n")
-    print(f"wrote {path}")
+    for name, payload in (
+        ("serve_trace.txt", serve_trace(GOLDEN_SPEC)),
+        ("serve_replay.txt", serialize_offline_replay(
+            offline_replay("legacy"))),
+        ("cluster_replay.txt", cluster_replay("legacy")),
+    ):
+        path = GOLDEN_DIR / name
+        path.write_bytes(payload + b"\n")
+        print(f"wrote {path}")
+
+
+# -- batched-engine golden replays -----------------------------------------
+
+def offline_replay(engine: str):
+    """The golden serve ramp, materialized and simulated offline."""
+    from repro.disk.disk import make_xp32150_disk
+    from repro.experiments.serve_demo import LEVELS, make_scheduler
+    from repro.serve import make_admission, replay_ramp_offline
+    from repro.sim.service import DiskService
+
+    disk = make_xp32150_disk()
+    disk.reset(0)
+    return replay_ramp_offline(
+        ramp_events(GOLDEN_SPEC),
+        make_admission(GOLDEN_SPEC.policy, disk, priority_levels=LEVELS),
+        disk.geometry,
+        make_scheduler(GOLDEN_SPEC.scheduler),
+        DiskService(disk),
+        seed=GOLDEN_SPEC.seed,
+        until_ms=GOLDEN_SPEC.until_ms,
+        priority_levels=LEVELS,
+        record_timeline=True,
+        engine=engine,
+    )
+
+
+def serialize_offline_replay(ramp) -> bytes:
+    """Canonical byte form of an offline ramp outcome.
+
+    Covers every engine-visible fact: the admission decisions, the
+    complete dispatch timeline, the unserved count and the full
+    metrics fingerprint (``repr`` of floats is exact, so equal bytes
+    means bit-equal runs).
+    """
+    lines = [
+        f"decision|{d.time_ms!r}|{d.decision.name}|{d.stream_id}"
+        f"|{d.reserved_utilization_after!r}"
+        for d in ramp.decisions
+    ]
+    lines += [
+        f"dispatch|{e.request_id}|{e.start_ms!r}|{e.end_ms!r}"
+        f"|{e.queue_length}|{int(e.dropped)}"
+        for e in ramp.result.timeline
+    ]
+    lines.append(f"unserved|{ramp.result.unserved}")
+    lines.append(f"metrics|{metrics_fingerprint(ramp.result.metrics)!r}")
+    return "\n".join(lines).encode()
+
+
+def test_serve_replay_batched_equals_legacy():
+    """Engine bit-identity on the golden ramp, byte for byte."""
+    replays = {engine: serialize_offline_replay(offline_replay(engine))
+               for engine in ENGINES}
+    assert replays["batched"] == replays["legacy"]
+
+
+def test_serve_replay_matches_golden():
+    """Both engines replay the pinned offline-ramp serialization."""
+    golden = (GOLDEN_DIR / "serve_replay.txt").read_bytes().rstrip(b"\n")
+    for engine in ENGINES:
+        assert serialize_offline_replay(offline_replay(engine)) == golden
+
+
+def cluster_replay(engine: str) -> bytes:
+    """Offline materialization of the golden cluster scenario.
+
+    The controller's decision plan scripts each array's open/close
+    timeline; each array's sessions are materialized offline (polls at
+    every scripted instant, exactly like the serving cell's
+    ``run_until`` barriers) and served through ``run_simulation`` with
+    the chosen engine.  One digest line per array pins the complete
+    outcome: request count, unserved, and a hash over the timeline +
+    metrics fingerprint.
+    """
+    from repro.disk.disk import make_xp32150_disk
+    from repro.parallel.cells import make_scheduler
+    from repro.serve import SessionManager
+    from repro.sim import run_simulation
+    from repro.sim.rng import spawn_seed
+    from repro.sim.service import DiskService
+    from tests.test_cluster_golden import (
+        GOLDEN_SPEC as CLUSTER_SPEC,
+        decision_plan,
+    )
+    from repro.experiments.cluster_demo import _cells
+
+    plan = decision_plan(CLUSTER_SPEC)
+    lines = []
+    for cell in _cells(CLUSTER_SPEC, plan):
+        disk = make_xp32150_disk()
+        disk.reset(0)
+        manager = SessionManager(
+            disk.geometry,
+            seed=spawn_seed(cell.seed, "cluster", cell.array_id),
+        )
+        requests = []
+        local_ids: dict[int, int] = {}
+        for entry in cell.timeline:
+            requests += manager.poll(entry.time_ms)
+            if entry.action == "open":
+                session = manager.open(entry.spec, entry.time_ms)
+                local_ids[entry.stream_key] = session.stream_id
+            else:
+                manager.close(local_ids.pop(entry.stream_key),
+                              entry.time_ms)
+        requests += manager.poll(cell.until_ms)
+        result = run_simulation(
+            requests, make_scheduler(cell.scheduler), DiskService(disk),
+            priority_levels=cell.priority_levels, drop_expired=True,
+            record_timeline=True, engine=engine,
+        )
+        payload = repr((tuple(result.timeline),
+                        metrics_fingerprint(result.metrics))).encode()
+        lines.append(
+            f"array{cell.array_id}|{len(requests)}|{result.unserved}"
+            f"|{sha256(payload).hexdigest()}"
+        )
+    return "\n".join(lines).encode()
+
+
+@pytest.mark.slow
+def test_cluster_replay_batched_equals_legacy_and_golden():
+    """Engine bit-identity on every array of the golden fleet scenario,
+    pinned against the committed digests."""
+    golden = (GOLDEN_DIR / "cluster_replay.txt").read_bytes().rstrip(b"\n")
+    replays = {engine: cluster_replay(engine) for engine in ENGINES}
+    assert replays["batched"] == replays["legacy"]
+    assert replays["legacy"] == golden

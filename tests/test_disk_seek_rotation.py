@@ -55,6 +55,7 @@ class TestFitSeekModel:
         with pytest.raises(ValueError):
             fit_seek_model(100, 0.0, 5.0)
 
+    @pytest.mark.slow
     @given(st.integers(min_value=1, max_value=3831))
     @settings(max_examples=50, deadline=None)
     def test_short_seeks_cheaper_than_max(self, distance):

@@ -146,6 +146,7 @@ def array_fingerprint(result) -> tuple:
             result.member_fingerprints)
 
 
+@pytest.mark.slow
 @settings(max_examples=4, deadline=None)
 @given(
     seed=st.integers(0, 2**20),
