@@ -168,7 +168,8 @@ class ClusterController:
 
     def __init__(self, config: ClusterConfig,
                  fault_plans: dict[int, FaultPlan] | None = None,
-                 *, disk: DiskModel | None = None) -> None:
+                 *, disk: DiskModel | None = None,
+                 incremental: bool = True) -> None:
         self.config = config
         self.fault_plans = dict(fault_plans or {})
         self.disk = disk if disk is not None else make_xp32150_disk()
@@ -189,9 +190,16 @@ class ClusterController:
             )
             for array_id in array_ids
         }
-        self.admission = GlobalAdmission(self.placement, self.budgets)
+        self.admission = GlobalAdmission(self.placement, self.budgets,
+                                         incremental=incremental)
         self.ledger = MigrationLedger(bound_ms=config.migration_pause_ms)
         self.streams: dict[int, PlacedStream] = {}
+        #: array id -> {stream key -> placed stream}; kept in lockstep
+        #: with ``streams`` so rebuild victim selection reads one
+        #: array's residents instead of scanning the whole fleet.
+        self._by_array: dict[int, dict[int, PlacedStream]] = {
+            array_id: {} for array_id in array_ids
+        }
         self.rebuilding: set[int] = set()
         self.rebuild_entries = 0
         self._decisions: list[DecisionRecord] = []
@@ -250,10 +258,16 @@ class ClusterController:
         )
 
     def _resident(self) -> dict[int, int]:
-        resident = {array_id: 0 for array_id in self.budgets}
-        for stream in self.streams.values():
-            resident[stream.array_id] += 1
-        return resident
+        return {array_id: len(placed)
+                for array_id, placed in self._by_array.items()}
+
+    def _place(self, stream: PlacedStream) -> None:
+        self.streams[stream.stream_key] = stream
+        self._by_array[stream.array_id][stream.stream_key] = stream
+
+    def _unplace(self, stream: PlacedStream) -> None:
+        del self.streams[stream.stream_key]
+        del self._by_array[stream.array_id][stream.stream_key]
 
     def _log(self, time_ms: float, kind: str, stream_key: int,
              array_id: int, detail: str = "") -> None:
@@ -272,13 +286,13 @@ class ClusterController:
             self._log(time_ms, "reject", stream_key, -1,
                       decision.reason)
             return
-        self.streams[stream_key] = PlacedStream(
+        self._place(PlacedStream(
             stream_key=stream_key,
             array_id=decision.array_id,
             spec=spec,
             share=decision.share,
             opened_ms=time_ms,
-        )
+        ))
         self._timelines[decision.array_id].append(TimelineEntry(
             time_ms=time_ms, action="open", stream_key=stream_key,
             spec=spec,
@@ -291,6 +305,7 @@ class ClusterController:
     def _rebuild_start(self, array_id: int, time_ms: float) -> None:
         budget = self.budgets[array_id]
         self.rebuilding.add(array_id)
+        self.admission.set_rebuilding(array_id, True)
         self.rebuild_entries += 1
         budget.capacity_factor = self.config.rebuild_capacity_factor
         self._log(
@@ -298,8 +313,10 @@ class ClusterController:
             f"advertised {budget.advertised_limit:.3f} "
             f"(x{self.config.rebuild_capacity_factor})",
         )
-        resident = [s for s in self.streams.values()
-                    if s.array_id == array_id]
+        # select_victims orders by the unique (priorities, stream_key)
+        # key, so reading the per-array resident map instead of
+        # scanning every fleet stream picks the identical victims.
+        resident = list(self._by_array[array_id].values())
         excess = budget.reserved - budget.advertised_limit
         for victim in select_victims(resident, excess):
             self._migrate(victim, time_ms)
@@ -307,6 +324,7 @@ class ClusterController:
     def _rebuild_end(self, array_id: int, time_ms: float) -> None:
         budget = self.budgets[array_id]
         self.rebuilding.discard(array_id)
+        self.admission.set_rebuilding(array_id, False)
         budget.capacity_factor = 1.0
         self._log(time_ms, "rebuild_end", -1, array_id,
                   f"advertised {budget.advertised_limit:.3f}")
@@ -325,7 +343,7 @@ class ClusterController:
             exclude=frozenset({victim.array_id}), count=False,
         )
         if not decision.admitted:
-            del self.streams[victim.stream_key]
+            self._unplace(victim)
             self.ledger.record(MigrationRecord(
                 stream_key=victim.stream_key,
                 from_array=victim.array_id,
@@ -337,13 +355,14 @@ class ClusterController:
             self._log(time_ms, "migrate_drop", victim.stream_key,
                       victim.array_id, decision.reason)
             return
-        self.streams[victim.stream_key] = replace(
+        self._unplace(victim)
+        self._place(replace(
             victim,
             array_id=decision.array_id,
             spec=resumed,
             share=decision.share,
             opened_ms=resume_ms,
-        )
+        ))
         self._timelines[decision.array_id].append(TimelineEntry(
             time_ms=resume_ms, action="open",
             stream_key=victim.stream_key, spec=resumed,

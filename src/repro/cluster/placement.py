@@ -149,6 +149,30 @@ class ConsistentHashPlacement(PlacementPolicy):
         index = bisect.bisect_right(self._points, point)
         return self._owners[index % len(self._owners)]
 
+    def successors(self, stream_key: int):
+        """Lazy clockwise walk: distinct ring owners, best first.
+
+        Yields each on-ring array at most once, in the exact order
+        :meth:`prefer` ranks them, without materializing the full
+        tuple — the incremental admission fast path consumes only a
+        prefix (it stops at the first budget that fits).
+        """
+        if not self._points:
+            return
+        point = stable_hash(self._seed, "stream", stream_key)
+        start = bisect.bisect_right(self._points, point)
+        owners = self._owners
+        n = len(owners)
+        seen: set[int] = set()
+        members = len(self._members)
+        for step in range(n):
+            owner = owners[(start + step) % n]
+            if owner not in seen:
+                seen.add(owner)
+                yield owner
+                if len(seen) == members:
+                    return
+
     def prefer(self, stream_key: int, loads: Sequence[ArrayLoad]
                ) -> tuple[int, ...]:
         """Clockwise walk from the stream's point, distinct arrays.
@@ -160,14 +184,10 @@ class ConsistentHashPlacement(PlacementPolicy):
         if not self._points:
             return tuple(sorted(load.array_id for load in loads))
         eligible = {load.array_id for load in loads}
-        point = stable_hash(self._seed, "stream", stream_key)
-        start = bisect.bisect_right(self._points, point)
         order: list[int] = []
         seen: set[int] = set()
-        n = len(self._owners)
-        for step in range(n):
-            owner = self._owners[(start + step) % n]
-            if owner in eligible and owner not in seen:
+        for owner in self.successors(stream_key):
+            if owner in eligible:
                 seen.add(owner)
                 order.append(owner)
                 if len(seen) == len(eligible):
@@ -191,6 +211,15 @@ class LeastReservedPlacement(PlacementPolicy):
     def __init__(self, *, seed: int = 0) -> None:
         self._seed = seed
 
+    def tie_key(self, stream_key: int, array_id: int) -> int:
+        """The seeded per-(stream, array) tie-break hash.
+
+        Exposed so the incremental admission fast path can order only
+        the arrays inside one equal-(rebuilding, reserved) group
+        instead of hashing the whole fleet per decision.
+        """
+        return stable_hash(self._seed, "tie", stream_key, array_id)
+
     def prefer(self, stream_key: int, loads: Sequence[ArrayLoad]
                ) -> tuple[int, ...]:
         return tuple(load.array_id for load in sorted(
@@ -198,7 +227,7 @@ class LeastReservedPlacement(PlacementPolicy):
             key=lambda load: (
                 load.rebuilding,
                 round(load.reserved_utilization, 12),
-                stable_hash(self._seed, "tie", stream_key, load.array_id),
+                self.tie_key(stream_key, load.array_id),
             ),
         ))
 

@@ -35,6 +35,13 @@ and a warm persistent-LUT load must beat re-enumeration by >=10x.  The
 multi-worker *speedup* is only gated when the machine actually has
 four or more cores -- on smaller hosts it is recorded with the core
 count so the number can be read in context.
+
+The ``cluster_scale`` section is the fleet scaling study: the cluster
+decision tier swept over 16/32/64/128 arrays (incremental vs full-scan
+admission, byte-identical decision logs, sublinear per-decision cost)
+and the cluster demo end-to-end against the PR 6 hot path (full-scan
+admission plus the O(sessions) session poll), gated at >=3x on full
+runs with matching fleet fingerprints.
 """
 
 from __future__ import annotations
@@ -89,6 +96,11 @@ class BenchSpec:
     #: Grid dims of the persistent-LUT cache probe (16 levels); big
     #: enough that enumeration visibly dominates a warm load.
     cache_lut_dims: int = 4
+    #: Fleet sizes of the cluster decision-tier scaling sweep.
+    cluster_arrays: tuple[int, ...] = (16, 32, 64, 128)
+    #: Stream-open attempts per array in the scaling sweep (the fleet
+    #: event script grows with the fleet, as it would in production).
+    cluster_users_per_array: int = 800
 
     def quick(self) -> "BenchSpec":
         return BenchSpec(
@@ -103,6 +115,8 @@ class BenchSpec:
             sweep_requests=500,
             array_requests=150,
             cache_lut_dims=3,
+            cluster_arrays=(16, 32),
+            cluster_users_per_array=150,
         )
 
 
@@ -608,9 +622,15 @@ def bench_parallel(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
         priority_levels=8,
         deadline_range_ms=(300.0, 900.0),
     )
+    # Cells pin the legacy engine: the tier under test is the process
+    # fan-out, and its speedup gate was calibrated on legacy-cost
+    # cells -- an ambient REPRO_SIM_ENGINE=batched (the CLI default)
+    # would shrink per-cell work until pool overhead dominates the
+    # ratio.
     cells = [CellSpec(label=("fifo",), workload=workload, seed=spec.seed,
                       scheduler=baseline("fcfs"),
-                      service=("constant", 8.0), priority_levels=8)]
+                      service=("constant", 8.0), priority_levels=8,
+                      engine="legacy")]
     for curve in ("sweep", "hilbert", "diagonal"):
         for fraction in (0.05, 0.2):
             config = CascadedSFCConfig(
@@ -621,6 +641,7 @@ def bench_parallel(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
                 label=(curve, fraction), workload=workload,
                 seed=spec.seed, scheduler=cascaded(config),
                 service=("constant", 8.0), priority_levels=8,
+                engine="legacy",
             ))
 
     def cell_fingerprints(results) -> list[tuple]:
@@ -652,6 +673,10 @@ def bench_parallel(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
                         probability=0.25),
         LatencySpike(disk=0, start_ms=0.0, end_ms=300.0, extra_ms=4.0),
     ], seed=spec.seed)
+    # Engine pinned to legacy on both arms: this tier times the
+    # thread-windowed member engine against the serial loop, which an
+    # ambient REPRO_SIM_ENGINE=batched (the CLI default) would
+    # otherwise silently replace with the batched array engine.
     array_cell = ArrayCellSpec(
         label=("array",),
         workload=ArrayWorkload(count=spec.array_requests),
@@ -660,6 +685,7 @@ def bench_parallel(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
         priority_levels=4,
         fault_plan=plan,
         retry_policy=RetryPolicy(),
+        engine="legacy",
     )
     array_serial_s, array_serial = _best_of(
         lambda: run_array_cell(array_cell), 1)
@@ -720,6 +746,177 @@ def bench_parallel(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
     return section, invariants
 
 
+@contextmanager
+def _pr6_serving_scan():
+    """Swap the serving tier back to the PR 6 full-scan session poll.
+
+    The two bodies below are the pre-due-heap ``SessionManager``
+    implementations verbatim (each poll scanned every live session for
+    the ``(due, stream_id)`` minimum; ``next_due_ms`` scanned them
+    all again).  Patching them in — with everything else current —
+    makes the cluster-demo gate a real before/after of the serving hot
+    path on otherwise identical code.  The scan ignores the due-heap
+    entirely, so the heap the current ``open`` still pushes onto is
+    inert; issue order (and therefore request ids) is unchanged.
+    """
+    from repro.serve.session import SessionManager
+
+    def next_due_ms(self):
+        dues = [s.next_due_ms for s in self.sessions.values()]
+        dues = [d for d in dues if d is not None]
+        return min(dues) if dues else None
+
+    def poll(self, now_ms, limit=None):
+        out = []
+        while limit is None or len(out) < limit:
+            best = None
+            best_key = None
+            for session in self.sessions.values():
+                due = session.next_due_ms
+                if due is None or due > now_ms:
+                    continue
+                key = (due, session.stream_id)
+                if best_key is None or key < best_key:
+                    best, best_key = session, key
+            if best is None:
+                break
+            out.append(best.issue(self._next_request_id))
+            self._next_request_id += 1
+        return out
+
+    saved = (SessionManager.next_due_ms, SessionManager.poll)
+    SessionManager.next_due_ms = next_due_ms
+    SessionManager.poll = poll
+    try:
+        yield
+    finally:
+        SessionManager.next_due_ms, SessionManager.poll = saved
+
+
+def bench_cluster_scale(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """Fleet decision tier at 16 -> 128 arrays, plus the demo gate.
+
+    * **decide sweep** -- the cluster controller replayed over the same
+      fleet-wide event script with the full-scan admission
+      (``incremental=False``, the PR 6 path) and the incremental tier
+      (reserved-budget accumulators, lazy headroom heap, sorted
+      least-reserved index) at each fleet size.  The decision logs
+      must be byte-identical at every size, and on full runs the
+      incremental per-decision cost must grow *sublinearly* in the
+      array count (at most half the size ratio) -- the honest version
+      of the paper's "scales to thousands of disks" claim.
+    * **demo** -- the cluster demo end-to-end (decide + every serving
+      cell, serial) on the current path vs the PR 6 path: full-scan
+      admission *and* the O(sessions)-scan session poll restored via
+      :func:`_pr6_serving_scan`.  Fleet report fingerprints must
+      match, and full runs (the 16-array scenario) must clear a 3x
+      wall-clock speedup.
+    """
+    from repro.cluster import ClusterController, build_report
+    from repro.experiments.cluster_demo import (
+        ClusterSpec,
+        _cells,
+        cluster_events,
+        fault_plans,
+        make_config,
+    )
+    from repro.parallel import run_cells, run_cluster_cell
+
+    section: dict = {"rows": []}
+    invariants: dict[str, bool] = {}
+    full_run = spec.repeats >= 3
+
+    # -- decide sweep: scan vs incremental at each fleet size --------------
+    per_decision_us: dict[int, float] = {}
+    for arrays in spec.cluster_arrays:
+        cspec = replace(ClusterSpec(), arrays=arrays,
+                        users=spec.cluster_users_per_array * arrays)
+        events = cluster_events(cspec)
+        plans = fault_plans(cspec)
+
+        def decide(incremental: bool):
+            controller = ClusterController(make_config(cspec), plans,
+                                           incremental=incremental)
+            return controller.run(events, cspec.until_ms)
+
+        # One scan-arm run per size: the arm exists as the identity
+        # oracle and the before-number; repeating the O(arrays) replay
+        # at 128 arrays would dominate the whole benchmark.
+        scan_s, scan_plan = _best_of(lambda: decide(False), 1)
+        incremental_s, plan = _best_of(
+            lambda: decide(True), min(spec.repeats, 2))
+        invariants[f"cluster_scale.decide{arrays}.bit_identical"] = (
+            plan.serialize() == scan_plan.serialize()
+        )
+        decisions = len(plan.decisions)
+        per_decision_us[arrays] = (
+            incremental_s / decisions * 1e6 if decisions else 0.0
+        )
+        section["rows"].append({
+            "label": f"decide{arrays}",
+            "arrays": arrays,
+            "events": len(events),
+            "decisions": decisions,
+            "scan_s": scan_s,
+            "incremental_s": incremental_s,
+            "per_decision_us": per_decision_us[arrays],
+            "events_per_s": (len(events) / incremental_s
+                             if incremental_s > 0 else float("inf")),
+            "speedup": (scan_s / incremental_s
+                        if incremental_s > 0 else float("inf")),
+        })
+
+    lo, hi = min(spec.cluster_arrays), max(spec.cluster_arrays)
+    growth = (per_decision_us[hi] / per_decision_us[lo]
+              if per_decision_us[lo] > 0 else float("inf"))
+    section["per_decision_growth"] = growth
+    section["fleet_size_ratio"] = hi / lo
+    # Wall-clock-based, so gated on full runs only (quick sizes are
+    # too small for the ratio to mean anything); recorded everywhere.
+    invariants["cluster_scale.per_decision_sublinear"] = (
+        growth <= (hi / lo) * 0.5 if full_run else True
+    )
+
+    # -- demo gate: the cluster demo end-to-end vs the PR 6 path -----------
+    demo_spec = ClusterSpec() if full_run else ClusterSpec().quick()
+    demo_events = cluster_events(demo_spec)
+    demo_plans = fault_plans(demo_spec)
+
+    def run_demo(incremental: bool):
+        controller = ClusterController(make_config(demo_spec),
+                                       demo_plans,
+                                       incremental=incremental)
+        started = time.perf_counter()
+        plan = controller.run(demo_events, demo_spec.until_ms)
+        results = run_cells(run_cluster_cell, _cells(demo_spec, plan),
+                            jobs=1)
+        elapsed = time.perf_counter() - started
+        return elapsed, build_report(plan, results)
+
+    # Timed once per arm, directly: both are multi-second end-to-end
+    # runs, far above GC/scheduler noise.
+    current_s, current = run_demo(True)
+    with _pr6_serving_scan():
+        pr6_s, pr6 = run_demo(False)
+    demo_speedup = pr6_s / current_s if current_s > 0 else float("inf")
+    invariants["cluster_scale.demo_bit_identical"] = (
+        pr6.fingerprint() == current.fingerprint()
+    )
+    invariants["cluster_scale.demo_3x"] = (
+        demo_speedup >= 3.0 if full_run else True
+    )
+    section["rows"].append({
+        "label": f"demo{demo_spec.arrays}",
+        "arrays": demo_spec.arrays,
+        "users": demo_spec.users,
+        "pr6_s": pr6_s,
+        "current_s": current_s,
+        "speedup": demo_speedup,
+        "speedup_gated": full_run,
+    })
+    return section, invariants
+
+
 SECTIONS = (
     ("curve_batch", bench_curve_batch),
     ("characterize", bench_characterize),
@@ -729,6 +926,7 @@ SECTIONS = (
     ("recharacterize", bench_recharacterize),
     ("observability", bench_observability),
     ("parallel", bench_parallel),
+    ("cluster_scale", bench_cluster_scale),
 )
 
 #: Committed baselines are ``BENCH_PR<n>.json`` at the repo root; the

@@ -9,6 +9,12 @@ Usage::
     python -m repro.experiments bench [--quick] [--out FILE]
     python -m repro.experiments obs [--quick] [--out-dir DIR]
     python -m repro.experiments cluster [--quick] [--jobs N]
+
+Every simulation-running subcommand accepts ``--engine
+{legacy,batched}``.  CLI runs default to the batched SoA engine
+(bit-identical results, several times faster); an explicit ``--engine``
+wins over ``$REPRO_SIM_ENGINE``, which wins over the default.  The
+library default for :func:`repro.sim.run_simulation` remains legacy.
 """
 
 from __future__ import annotations
@@ -257,9 +263,20 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
+    # Shared by every simulation-running subcommand.  CLI runs default
+    # to the batched SoA engine (bit-identical to legacy, several times
+    # faster); precedence is --engine > $REPRO_SIM_ENGINE > batched.
+    # Library callers of run_simulation are unaffected (their default
+    # stays legacy unless the environment says otherwise).
+    engine_parent = argparse.ArgumentParser(add_help=False)
+    engine_parent.add_argument(
+        "--engine", choices=("legacy", "batched"), default=None,
+        help="simulation engine (default: $REPRO_SIM_ENGINE, "
+             "else batched; results are bit-identical)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
-    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')",
+                            parents=[engine_parent])
     runner.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
     runner.add_argument("--quick", action="store_true",
                         help="benchmark-sized instance")
@@ -270,7 +287,8 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: serial; results are "
                              "bit-identical at any N)")
     server = sub.add_parser(
-        "serve", help="online serving-layer ramp demo (repro.serve)"
+        "serve", help="online serving-layer ramp demo (repro.serve)",
+        parents=[engine_parent],
     )
     server.add_argument("--quick", action="store_true",
                         help="short ramp (same saturation point)")
@@ -290,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
     faults = sub.add_parser(
         "faults",
         help="schedulers under an identical fault schedule (repro.faults)",
+        parents=[engine_parent],
     )
     faults.add_argument("--quick", action="store_true",
                         help="benchmark-sized run (same fault acts)")
@@ -302,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
     benchp = sub.add_parser(
         "bench",
         help="hot-path benchmark baseline with safety invariants",
+        parents=[engine_parent],
     )
     benchp.add_argument("--quick", action="store_true",
                         help="CI-sized run (same invariants)")
@@ -312,6 +332,7 @@ def main(argv: list[str] | None = None) -> int:
     obsp = sub.add_parser(
         "obs",
         help="observed serve ramp: lifecycle spans, metrics, profiling",
+        parents=[engine_parent],
     )
     obsp.add_argument("--quick", action="store_true",
                       help="CI-sized ramp (same validation)")
@@ -321,6 +342,7 @@ def main(argv: list[str] | None = None) -> int:
     clusterp = sub.add_parser(
         "cluster",
         help="fleet of arrays: placement, global admission, migration",
+        parents=[engine_parent],
     )
     clusterp.add_argument("--quick", action="store_true",
                           help="4-array CI scenario (MPEG profile, one "
@@ -346,6 +368,17 @@ def main(argv: list[str] | None = None) -> int:
                                "(default: results/cluster_qos.json "
                                "under --quick; use '' to skip)")
     args = parser.parse_args(argv)
+
+    # Engine precedence for CLI runs: --engine > $REPRO_SIM_ENGINE >
+    # batched.  Routed through the environment so worker processes
+    # (--jobs N) inherit the choice; sections that pin an engine
+    # explicitly (the bench before/after arms) still win, because
+    # resolve_engine prefers an explicit argument over the environment.
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        os.environ["REPRO_SIM_ENGINE"] = engine
+    else:
+        os.environ.setdefault("REPRO_SIM_ENGINE", "batched")
 
     # Amortize curve-LUT builds across experiment runs: enable the
     # repo-local persistent cache unless the user already configured

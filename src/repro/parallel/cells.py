@@ -148,6 +148,11 @@ class CellSpec:
     service: tuple = ("constant", 50.0)
     drop_expired: bool = False
     priority_levels: int = 16
+    #: Simulation engine ("legacy" | "batched"); None defers to
+    #: ``$REPRO_SIM_ENGINE`` exactly like ``run_simulation``.  Results
+    #: are bit-identical either way; pin it when the *timing* of a
+    #: specific engine is the point (the bench does).
+    engine: str | None = None
 
 
 @dataclass(frozen=True)
@@ -185,6 +190,7 @@ def run_cell(spec: CellSpec) -> CellResult:
         make_service(spec.service),
         drop_expired=spec.drop_expired,
         priority_levels=spec.priority_levels,
+        engine=spec.engine,
     )
     return CellResult(
         label=spec.label,
@@ -252,6 +258,11 @@ class ArrayCellSpec:
     #: Member-level concurrency inside the worker (tier 2); None keeps
     #: the serial engine.
     member_jobs: int | None = None
+    #: Array engine ("legacy" | "batched"); None defers to
+    #: ``$REPRO_SIM_ENGINE`` exactly like ``run_array_simulation``.
+    #: Results are bit-identical either way; pin it when the *timing*
+    #: of a specific engine is the point (the bench does).
+    engine: str | None = None
 
 
 @dataclass(frozen=True)
@@ -282,6 +293,7 @@ def run_array_cell(spec: ArrayCellSpec) -> ArrayCellResult:
         fault_plan=spec.fault_plan,
         retry_policy=spec.retry_policy,
         member_jobs=spec.member_jobs,
+        engine=spec.engine,
     )
     return ArrayCellResult(
         label=spec.label,

@@ -18,6 +18,7 @@ requests.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
 from random import Random
 from typing import Iterator
@@ -195,6 +196,15 @@ class SessionManager:
         self.sessions: dict[int, StreamSession] = {}
         #: Sessions that ended (kept for QoS reporting).
         self.closed: dict[int, StreamSession] = {}
+        #: Lazy (due_ms, stream_id) min-heap over the active sessions'
+        #: next block instants.  Every live session has exactly one
+        #: *current* entry (pushed at open and after each issue);
+        #: entries of closed/retired/advanced sessions go stale and are
+        #: discarded when they surface.  This turns the per-request
+        #: "scan every session" of the server loop into O(log n) — the
+        #: popped (due, stream_id) minimum is the same key the scan
+        #: minimized, so the issue order is bit-identical.
+        self._due_heap: list[tuple[float, int]] = []
 
     @property
     def geometry(self) -> DiskGeometry:
@@ -215,6 +225,9 @@ class SessionManager:
         rng = derive(self._seed, "serve", stream_id)
         session = StreamSession(stream_id, spec, now_ms, self._geometry, rng)
         self.sessions[stream_id] = session
+        due = session.next_due_ms
+        if due is not None:
+            heapq.heappush(self._due_heap, (due, stream_id))
         return session
 
     def close(self, stream_id: int, now_ms: float) -> StreamSession:
@@ -233,11 +246,21 @@ class SessionManager:
             self.closed[session.stream_id] = session
         return done
 
+    def _peek_due(self) -> tuple[float, StreamSession] | None:
+        """The valid heap minimum, discarding stale entries."""
+        heap = self._due_heap
+        while heap:
+            due, stream_id = heap[0]
+            session = self.sessions.get(stream_id)
+            if session is not None and session.next_due_ms == due:
+                return due, session
+            heapq.heappop(heap)  # closed, retired, or already issued
+        return None
+
     def next_due_ms(self) -> float | None:
         """Earliest pending block instant across all sessions."""
-        dues = [s.next_due_ms for s in self.sessions.values()]
-        dues = [d for d in dues if d is not None]
-        return min(dues) if dues else None
+        head = self._peek_due()
+        return head[0] if head is not None else None
 
     def poll(self, now_ms: float, limit: int | None = None
              ) -> list[DiskRequest]:
@@ -251,20 +274,18 @@ class SessionManager:
         due and will be returned by a later poll.
         """
         out: list[DiskRequest] = []
+        heap = self._due_heap
         while limit is None or len(out) < limit:
-            best: StreamSession | None = None
-            best_key: tuple[float, int] | None = None
-            for session in self.sessions.values():
-                due = session.next_due_ms
-                if due is None or due > now_ms:
-                    continue
-                key = (due, session.stream_id)
-                if best_key is None or key < best_key:
-                    best, best_key = session, key
-            if best is None:
+            head = self._peek_due()
+            if head is None or head[0] > now_ms:
                 break
-            out.append(best.issue(self._next_request_id))
+            session = head[1]
+            heapq.heappop(heap)
+            out.append(session.issue(self._next_request_id))
             self._next_request_id += 1
+            due = session.next_due_ms
+            if due is not None:
+                heapq.heappush(heap, (due, session.stream_id))
         return out
 
     def materialize(self, until_ms: float) -> list[DiskRequest]:

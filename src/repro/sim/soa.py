@@ -79,6 +79,70 @@ class RequestColumns:
         return len(self.requests)
 
 
+@dataclass
+class MemberColumns:
+    """Per-member lane state of the batched RAID-5 array engine.
+
+    The legacy array loop keeps each member's in-flight completion as
+    one closure on the event heap; the batched engine
+    (:class:`repro.sim.array._BatchedArrayState`) keeps the lanes as
+    parallel numpy columns instead and finds the next completion with
+    one vectorized ``(busy-until, sequence)`` minimum.  The sequence
+    column carries the event-queue sequence number the legacy engine
+    would have given the completion event (reserved at dispatch), so
+    the lexicographic minimum reproduces the heap's tie order exactly.
+
+    The remaining columns are per-member ledgers — dispatch, failure
+    (retry-triggering), rebuild-op counts and the highest rebuilt
+    stripe epoch — maintained as SoA tallies alongside the shared
+    :class:`repro.sim.array._FaultTallies` totals.
+    """
+
+    #: Completion instant of the in-flight op; ``inf`` when idle.
+    busy_until_ms: np.ndarray
+    #: Event-queue sequence of the in-flight completion; ``-1`` idle.
+    busy_seq: np.ndarray
+    #: Physical operations dispatched per member.
+    ops_dispatched: np.ndarray
+    #: Physical operations failed per member (dispatch- or in-flight).
+    ops_failed: np.ndarray
+    #: Rebuild operations submitted per member.
+    rebuild_ops: np.ndarray
+    #: Highest rebuilt stripe index + 1 observed per member.
+    stripe_epoch: np.ndarray
+
+    @classmethod
+    def for_members(cls, count: int) -> "MemberColumns":
+        return cls(
+            busy_until_ms=np.full(count, np.inf, dtype=np.float64),
+            busy_seq=np.full(count, -1, dtype=np.int64),
+            ops_dispatched=np.zeros(count, dtype=np.int64),
+            ops_failed=np.zeros(count, dtype=np.int64),
+            rebuild_ops=np.zeros(count, dtype=np.int64),
+            stripe_epoch=np.zeros(count, dtype=np.int64),
+        )
+
+    def all_busy(self) -> bool:
+        """True when every lane has an in-flight operation."""
+        return bool(np.isfinite(self.busy_until_ms).all())
+
+    def min_key(self) -> tuple[float, int, int] | None:
+        """``(time, sequence, lane)`` of the earliest completion.
+
+        Lexicographic over ``(busy_until_ms, busy_seq)`` — the same key
+        the legacy heap orders completion events by — or None when all
+        lanes are idle.
+        """
+        busy_until = self.busy_until_ms
+        time = busy_until.min()
+        if not np.isfinite(time):
+            return None
+        seqs = np.where(busy_until == time, self.busy_seq,
+                        np.iinfo(np.int64).max)
+        lane = int(seqs.argmin())
+        return float(time), int(self.busy_seq[lane]), lane
+
+
 class InversionLedger:
     """Exact priority-inversion counting without iterating the queue.
 

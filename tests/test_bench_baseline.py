@@ -144,3 +144,28 @@ class TestSectionLayout:
         # Full-spec baselines gate the 5x warm target for real.
         if report["meta"]["spec"] == "full":
             assert sections["end_to_end_warm"]["speedup"] >= 5.0
+
+    def test_cluster_scale_section_registered(self):
+        assert "cluster_scale" in [name for name, _ in SECTIONS]
+
+    def test_committed_baseline_has_cluster_scale(self):
+        """The latest committed baseline records the fleet scaling
+        study: the decide sweep, byte-identity at every size, the
+        sublinear growth invariant, and the demo gate."""
+        with open(latest_baseline_path(), encoding="utf-8") as fh:
+            report = json.load(fh)
+        section = report["sections"]["cluster_scale"]
+        labels = {row["label"] for row in section["rows"]}
+        invariants = report["invariants"]
+        assert invariants["cluster_scale.demo_bit_identical"]
+        assert invariants["cluster_scale.per_decision_sublinear"]
+        if report["meta"]["spec"] == "full":
+            assert {"decide16", "decide32", "decide64",
+                    "decide128"} <= labels
+            for arrays in (16, 32, 64, 128):
+                assert invariants[
+                    f"cluster_scale.decide{arrays}.bit_identical"]
+            demo = next(row for row in section["rows"]
+                        if row["label"].startswith("demo"))
+            assert demo["speedup"] >= 3.0
+            assert invariants["cluster_scale.demo_3x"]
