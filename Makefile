@@ -8,7 +8,7 @@ PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-quick bench bench-quick bench-baseline \
 	bench-parallel experiments experiments-quick serve-demo \
-	faults-demo obs-demo cluster-demo coverage loc
+	faults-demo obs-demo cluster-demo history-demo coverage loc
 
 test:
 	$(PYTHONPATH_SRC) pytest tests/
@@ -59,6 +59,26 @@ obs-demo:
 cluster-demo:
 	$(PYTHONPATH_SRC) python -m repro.experiments cluster --quick \
 		--jobs 4 --verbose
+
+# Run store round trip: record a quick serve run and a quick cluster
+# run, replay both (byte-identity, exit 1 on divergence), then diff
+# them.  A fresh store file keeps the run ids deterministic (1, 2).
+HISTORY_STORE := results/history_demo.sqlite
+
+history-demo:
+	rm -f $(HISTORY_STORE)
+	$(PYTHONPATH_SRC) python -m repro.experiments serve --quick \
+		--store $(HISTORY_STORE)
+	$(PYTHONPATH_SRC) python -m repro.experiments cluster --quick \
+		--store $(HISTORY_STORE)
+	$(PYTHONPATH_SRC) python -m repro.experiments history replay 1 \
+		--store $(HISTORY_STORE)
+	$(PYTHONPATH_SRC) python -m repro.experiments history replay 2 \
+		--store $(HISTORY_STORE)
+	$(PYTHONPATH_SRC) python -m repro.experiments history diff 1 2 \
+		--store $(HISTORY_STORE)
+	$(PYTHONPATH_SRC) python -m repro.experiments history list \
+		--store $(HISTORY_STORE)
 
 # Needs pytest-cov (pip install -e .[test]).
 coverage:

@@ -86,6 +86,7 @@ from .parallel import (
     run_cells,
 )
 from .sfc import lut_cache
+from .store import RunRecord, RunStore, SqliteRunStore, open_store
 
 __version__ = "1.0.0"
 
@@ -112,12 +113,15 @@ __all__ = [
     "Observer",
     "ParallelRunner",
     "RetryPolicy",
+    "RunRecord",
+    "RunStore",
     "Scheduler",
     "ServeCellSpec",
     "ServerConfig",
     "ServerStats",
     "SessionManager",
     "SimulationResult",
+    "SqliteRunStore",
     "StreamSpec",
     "StreamingServer",
     "SweepReport",
@@ -130,6 +134,7 @@ __all__ = [
     "make_baseline",
     "make_xp32150_disk",
     "normalize_jobs",
+    "open_store",
     "run_cells",
     "run_simulation",
     "__version__",

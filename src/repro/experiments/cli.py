@@ -107,7 +107,7 @@ DESCRIPTIONS = {
 
 def run_experiment(name: str, quick: bool,
                    out=sys.stdout, csv_dir: str | None = None,
-                   jobs: int | None = None) -> None:
+                   jobs: int | None = None) -> list[Table]:
     """Run one experiment; print its tables, optionally export CSV."""
     result = EXPERIMENTS[name](quick, jobs)
     tables = _tables_of(result)
@@ -118,11 +118,12 @@ def run_experiment(name: str, quick: bool,
         from .export import export_tables
         for path in export_tables(tables, csv_dir, prefix=f"{name}-"):
             print(f"wrote {path}", file=out)
+    return tables
 
 
 def run_serve(args) -> int:
     """The online serving-layer ramp demo (`serve` subcommand)."""
-    from . import serve_demo
+    from . import history, serve_demo
 
     spec = serve_demo.ServeSpec(
         scheduler=args.scheduler,
@@ -131,10 +132,17 @@ def run_serve(args) -> int:
     )
     if args.quick:
         spec = spec.quick()
+    store = history.maybe_open_store(args)
+    observer = None
+    if store is not None:
+        # Recording lights up the span/metrics pillars so the stored
+        # run carries per-phase latency histograms for `history diff`.
+        from repro.obs import Observer
+        observer = Observer()
     started = time.perf_counter()
     print("=== serve: admission-controlled streaming ramp "
           f"(scheduler={spec.scheduler}, policy={spec.policy})")
-    result = serve_demo.run(spec)
+    result = serve_demo.run(spec, observer=observer)
     print(result.summary.render())
     print()
     if args.verbose:
@@ -147,17 +155,25 @@ def run_serve(args) -> int:
         tables = [result.summary, result.decisions_table]
         for path in export_tables(tables, args.csv, prefix="serve-"):
             print(f"wrote {path}")
-    print(f"--- serve done in {time.perf_counter() - started:.1f}s")
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        with store:
+            run_id = history.record_serve(
+                store, spec, result, argv=args.argv_,
+                elapsed=elapsed, quick=args.quick, observer=observer)
+        print(f"recorded run {run_id} -> {store.path}")
+    print(f"--- serve done in {elapsed:.1f}s")
     return 0
 
 
 def run_faults(args) -> int:
     """Schedulers under one fault schedule (`faults` subcommand)."""
-    from . import faults_scenario
+    from . import faults_scenario, history
 
     spec = faults_scenario.FaultsSpec(seed=args.seed)
     if args.quick:
         spec = spec.quick()
+    store = history.maybe_open_store(args)
     started = time.perf_counter()
     print("=== faults: schedulers under an identical fault schedule "
           f"(seed={spec.seed})")
@@ -174,17 +190,25 @@ def run_faults(args) -> int:
           f"{', '.join(beaten) if beaten else 'nothing'}")
     if args.out is not None:
         print(f"wrote {faults_scenario.write_faults_csv(result, args.out)}")
-    print(f"--- faults done in {time.perf_counter() - started:.1f}s")
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        with store:
+            run_id = history.record_faults(
+                store, spec, result, argv=args.argv_,
+                elapsed=elapsed, quick=args.quick)
+        print(f"recorded run {run_id} -> {store.path}")
+    print(f"--- faults done in {elapsed:.1f}s")
     return 0 if (result.deterministic and beaten) else 1
 
 
 def run_bench(args) -> int:
     """Hot-path benchmark baseline (`bench` subcommand)."""
-    from . import bench
+    from . import bench, history
 
     spec = bench.BenchSpec()
     if args.quick:
         spec = spec.quick()
+    store = history.maybe_open_store(args)
     started = time.perf_counter()
     print("=== bench: hot-path timings and safety invariants "
           f"({'quick' if args.quick else 'full'})")
@@ -192,17 +216,25 @@ def run_bench(args) -> int:
     print(bench.render(report))
     if args.out is not None:
         print(f"wrote {bench.write_report(report, args.out)}")
-    print(f"--- bench done in {time.perf_counter() - started:.1f}s")
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        with store:
+            run_id = history.record_bench(
+                store, spec, report, argv=args.argv_,
+                elapsed=elapsed, quick=args.quick)
+        print(f"recorded run {run_id} -> {store.path}")
+    print(f"--- bench done in {elapsed:.1f}s")
     return 0 if report["ok"] else 1
 
 
 def run_obs(args) -> int:
     """Observed serve ramp with span/metric exports (`obs` subcommand)."""
-    from . import obs_demo
+    from . import history, obs_demo
 
     spec = obs_demo.ObsSpec(out_dir=args.out_dir)
     if args.quick:
         spec = spec.quick()
+    store = history.maybe_open_store(args)
     started = time.perf_counter()
     print("=== obs: request-lifecycle tracing, metrics, and profiling "
           f"({'quick' if args.quick else 'full'})")
@@ -216,7 +248,14 @@ def run_obs(args) -> int:
               "violations")
         for violation in result.violations[:10]:
             print(f"  - {violation}")
-    print(f"--- obs done in {time.perf_counter() - started:.1f}s")
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        with store:
+            run_id = history.record_obs(
+                store, spec, result, argv=args.argv_,
+                elapsed=elapsed, quick=args.quick)
+        print(f"recorded run {run_id} -> {store.path}")
+    print(f"--- obs done in {elapsed:.1f}s")
     return 0 if result.ok else 1
 
 
@@ -224,7 +263,7 @@ def run_cluster(args) -> int:
     """Fleet of arrays behind one controller (`cluster` subcommand)."""
     import dataclasses as dc
 
-    from . import cluster_demo
+    from . import cluster_demo, history
 
     spec = cluster_demo.ClusterSpec(
         placement=args.policy,
@@ -237,6 +276,7 @@ def run_cluster(args) -> int:
         spec = dc.replace(spec, arrays=args.arrays)
     if args.selfcheck is not None:
         spec = dc.replace(spec, selfcheck=args.selfcheck)
+    store = history.maybe_open_store(args)
     started = time.perf_counter()
     print(f"=== cluster: {spec.arrays}-array fleet "
           f"(placement={spec.placement}, jobs={spec.jobs or 1})")
@@ -247,14 +287,19 @@ def run_cluster(args) -> int:
         print(result.arrays_table.render())
         print()
     if args.out is not None:
-        out_dir = os.path.dirname(args.out)
-        if out_dir:
-            os.makedirs(out_dir, exist_ok=True)
-        print(f"wrote {result.report.write_json(args.out)}")
+        from .common import ensure_parent
+        print(f"wrote {result.report.write_json(ensure_parent(args.out))}")
     for name, ok, detail in result.checks:
         if not ok:
             print(f"FAILED check: {name} ({detail})")
-    print(f"--- cluster done in {time.perf_counter() - started:.1f}s")
+    elapsed = time.perf_counter() - started
+    if store is not None:
+        with store:
+            run_id = history.record_cluster(
+                store, spec, result, argv=args.argv_,
+                elapsed=elapsed, quick=args.quick)
+        print(f"recorded run {run_id} -> {store.path}")
+    print(f"--- cluster done in {elapsed:.1f}s")
     return 0 if result.ok else 1
 
 
@@ -273,6 +318,16 @@ def main(argv: list[str] | None = None) -> int:
         "--engine", choices=("legacy", "batched"), default=None,
         help="simulation engine (default: $REPRO_SIM_ENGINE, "
              "else batched; results are bit-identical)")
+    # Recording is opt-in per run (--record), implied by an explicit
+    # --store PATH, or ambient for a whole session ($REPRO_STORE).
+    engine_parent.add_argument(
+        "--record", action="store_true",
+        help="record this run's provenance (config, trace, report, "
+             "observability payloads) into the run store")
+    engine_parent.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="run-store file (implies --record; default: "
+             "$REPRO_STORE, else results/runs.sqlite)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     runner = sub.add_parser("run", help="run one experiment (or 'all')",
@@ -367,7 +422,50 @@ def main(argv: list[str] | None = None) -> int:
                           help="write the fleet QoS report JSON "
                                "(default: results/cluster_qos.json "
                                "under --quick; use '' to skip)")
+    historyp = sub.add_parser(
+        "history",
+        help="query the run store: list/show/replay/diff recorded runs",
+    )
+    store_parent = argparse.ArgumentParser(add_help=False)
+    store_parent.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="run-store file (default: $REPRO_STORE, else "
+             "results/runs.sqlite)")
+    hist_sub = historyp.add_subparsers(dest="history_command",
+                                       required=True)
+    hlist = hist_sub.add_parser("list", parents=[store_parent],
+                                help="list recorded runs, newest first")
+    hlist.add_argument("--kind", default=None,
+                       choices=("run", "serve", "faults", "bench",
+                                "obs", "cluster"))
+    hlist.add_argument("--scheduler", default=None)
+    hlist.add_argument("--engine", default=None,
+                       choices=("legacy", "batched"))
+    hlist.add_argument("--label", default=None)
+    hlist.add_argument("--since", metavar="YYYY-MM-DD", default=None,
+                       help="only runs recorded on/after this date")
+    hlist.add_argument("--limit", type=int, default=None, metavar="N")
+    hshow = hist_sub.add_parser("show", parents=[store_parent],
+                                help="full provenance of one run")
+    hshow.add_argument("run", type=int)
+    hreplay = hist_sub.add_parser(
+        "replay", parents=[store_parent],
+        help="re-execute a run from its stored config and assert "
+             "byte-identity of the trace (exit 1 on divergence)")
+    hreplay.add_argument("run", type=int)
+    hdiff = hist_sub.add_parser(
+        "diff", parents=[store_parent],
+        help="QoS, per-phase latency, and outcome deltas between "
+             "two runs (--bench: baseline speedup trajectory)")
+    hdiff.add_argument("a", type=int, nargs="?", default=None)
+    hdiff.add_argument("b", type=int, nargs="?", default=None)
+    hdiff.add_argument("--bench", action="store_true",
+                       help="render the committed BENCH_PR<n> "
+                            "end-to-end speedup trajectory")
     args = parser.parse_args(argv)
+    # The exact invocation, recorded as provenance (works both for
+    # process use and for main(argv) callers like the tests).
+    args.argv_ = tuple(sys.argv[1:] if argv is None else argv)
 
     # Engine precedence for CLI runs: --engine > $REPRO_SIM_ENGINE >
     # batched.  Routed through the environment so worker processes
@@ -386,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.sfc import lut_cache
     lut_cache.ensure_default()
 
+    from .common import results_path
     if getattr(args, "out", None) == "":
         args.out = None
     elif (args.command == "bench" and args.out is None
@@ -399,11 +498,11 @@ def main(argv: list[str] | None = None) -> int:
             and not args.quick):
         # Only full-spec runs refresh the recorded comparison; the
         # quick demo must not clobber it with benchmark-sized numbers.
-        args.out = "results/faults_compare.csv"
+        args.out = results_path("faults_compare.csv")
     elif (args.command == "cluster" and args.out is None
             and args.quick):
         # The quick fleet report is the cluster-smoke CI artifact.
-        args.out = "results/cluster_qos.json"
+        args.out = results_path("cluster_qos.json")
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -413,7 +512,12 @@ def main(argv: list[str] | None = None) -> int:
         print("bench    hot-path benchmark baseline (invariant-checked)")
         print("obs      observed serve ramp (spans, metrics, profiling)")
         print("cluster  fleet of arrays: placement, admission, migration")
+        print("history  run store: list/show/replay/diff recorded runs")
         return 0
+
+    if args.command == "history":
+        from .history import run_history
+        return run_history(args)
 
     if args.command == "serve":
         return run_serve(args)
@@ -430,15 +534,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cluster":
         return run_cluster(args)
 
+    from . import history
+    store = history.maybe_open_store(args)
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
         started = time.perf_counter()
         print(f"=== {name}: {DESCRIPTIONS[name]}")
-        run_experiment(name, args.quick, csv_dir=args.csv,
-                       jobs=args.jobs)
-        print(f"--- {name} done in "
-              f"{time.perf_counter() - started:.1f}s")
+        tables = run_experiment(name, args.quick, csv_dir=args.csv,
+                                jobs=args.jobs)
+        elapsed = time.perf_counter() - started
+        if store is not None:
+            run_id = history.record_run(
+                store, name, tables, argv=args.argv_,
+                elapsed=elapsed, quick=args.quick, jobs=args.jobs)
+            print(f"recorded run {run_id} -> {store.path}")
+        print(f"--- {name} done in {elapsed:.1f}s")
         print()
+    if store is not None:
+        store.close()
     return 0
 
 

@@ -9,6 +9,7 @@ whose rows the benchmarks assert against.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
@@ -20,6 +21,47 @@ from repro.sim.service import DiskService, ServiceModel
 
 SchedulerFactory = Callable[[], Scheduler]
 ServiceFactory = Callable[[], ServiceModel]
+
+#: Default directory for every demo artifact (CSVs, JSON reports, the
+#: sqlite run store).  Gitignored; created on first write.
+RESULTS_DIR = "results"
+
+
+def ensure_parent(path: str) -> str:
+    """Create ``path``'s parent directory if needed; returns ``path``.
+
+    Every writer of a default artifact routes through this (or
+    :func:`results_path`) so demos no longer assume ``results/``
+    already exists.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path
+
+
+def results_path(*parts: str) -> str:
+    """A path under :data:`RESULTS_DIR`, with parents created.
+
+    The single helper behind every default output location —
+    ``results_path("faults_compare.csv")``,
+    ``results_path("cluster_qos.json")``, the run store — so the
+    layout is defined in one place.
+    """
+    return ensure_parent(os.path.join(RESULTS_DIR, *parts))
+
+
+def default_store_path() -> str:
+    """The run-store file used when nothing overrides it.
+
+    Resolution order (mirrors the engine precedence story):
+    ``--store`` beats ``$REPRO_STORE`` beats
+    ``results/runs.sqlite`` — the first two are handled by the CLI;
+    this helper supplies the last and honors the env var for library
+    callers.
+    """
+    from repro.store import default_path
+    return default_path()
 
 
 def replay(requests: Sequence[DiskRequest],

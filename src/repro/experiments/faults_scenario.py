@@ -321,8 +321,10 @@ def run(spec: FaultsSpec = FaultsSpec()) -> FaultsResult:
 
 def write_faults_csv(result: FaultsResult, path: str) -> str:
     """Record the comparison: one row per contender plus provenance."""
+    from .common import ensure_parent
     spec = result.spec
     lo, hi = spec.degraded_window
+    ensure_parent(path)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow([

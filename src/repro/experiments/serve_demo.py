@@ -89,6 +89,9 @@ class ServeResult:
     achieved_users: int = 0
     #: Admitted + downgraded.
     accepted_users: int = 0
+    #: Canonical serialized trace of the run (the replay contract the
+    #: run store fingerprints; same bytes the golden tests assert).
+    trace: bytes = b""
 
 
 def make_scheduler(name: str, *, levels: int = LEVELS) -> Scheduler:
@@ -148,11 +151,17 @@ def build_server(spec: ServeSpec,
     )
 
 
-def run(spec: ServeSpec = ServeSpec(), *, sink=print) -> ServeResult:
-    server = build_server(spec, sink)
+def run(spec: ServeSpec = ServeSpec(), *, sink=print,
+        observer=None) -> ServeResult:
+    # Imported lazily: faults_scenario imports this module for the
+    # scheduler factory, so the top level must stay one-directional.
+    from .faults_scenario import serialize_trace
+
+    server = build_server(spec, sink, observer=observer)
     events = ramp_events(spec)
     decisions = run_ramp_online(server, events, spec.until_ms)
     stats = server.stats()
+    trace = serialize_trace(server)
 
     decisions_table = Table(
         title="Serve ramp -- admission decisions",
@@ -204,11 +213,14 @@ def run(spec: ServeSpec = ServeSpec(), *, sink=print) -> ServeResult:
         stats=stats,
         achieved_users=achieved,
         accepted_users=accepted,
+        trace=trace,
     )
 
 
 def write_ramp_csv(result: ServeResult, path: str) -> str:
     """Record the ramp (one row per open attempt + a summary row)."""
+    from .common import ensure_parent
+    ensure_parent(path)
     with open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["user", "t_ms", "decision", "level",

@@ -219,6 +219,20 @@ class Observer:
             f"trace_{event.kind}_total",
             f"serving-layer {event.kind} trace events").inc()
 
+    # -- run-store export --------------------------------------------------
+
+    def publish_into(self, record) -> None:
+        """Export both pillars into a run-store record in place.
+
+        The store-side counterpart of the export files the ``obs``
+        demo writes: ``record.spans_jsonl`` gets the schema-versioned
+        span JSONL text and ``record.metrics`` the registry snapshot
+        (with registered pull collectors flushed), so the store
+        consumes the existing pillars rather than inventing new ones.
+        """
+        record.spans_jsonl = self.spans.to_jsonl_text()
+        record.metrics = self.registry.to_json()
+
     # -- registry pull integration -----------------------------------------
 
     def watch_scheduler(self, scheduler, prefix: str = "dispatcher"
@@ -316,6 +330,7 @@ class NullObserver(Observer):
     on_promote = _noop
     on_window = _noop
     on_trace_event = _noop
+    publish_into = _noop
     watch_scheduler = _noop
     watch_faults = _noop
 

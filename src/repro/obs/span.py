@@ -205,12 +205,19 @@ class SpanLog:
 
     # -- export ------------------------------------------------------------
 
+    def to_jsonl_text(self) -> str:
+        """Retained closed spans as JSON-lines text (one span per line).
+
+        The same schema-versioned records :meth:`to_jsonl` writes; the
+        run store persists this text directly.
+        """
+        return "".join(json.dumps(span.as_dict(), sort_keys=True) + "\n"
+                       for span in self._closed)
+
     def to_jsonl(self, path: str) -> str:
         """Write retained closed spans as JSON lines; returns ``path``."""
         with open(path, "w", encoding="utf-8") as fh:
-            for span in self._closed:
-                fh.write(json.dumps(span.as_dict(), sort_keys=True))
-                fh.write("\n")
+            fh.write(self.to_jsonl_text())
         return path
 
     def chrome_trace_events(self) -> list[dict[str, object]]:

@@ -1,0 +1,70 @@
+"""Durable run store: record every run, replay it, diff any two.
+
+The store is the queryable artifact layer behind
+``python -m repro.experiments history``.  Recording is opt-in per run
+(``--record`` on any subcommand) or ambient (``REPRO_STORE=<path>``);
+the default store file is ``results/runs.sqlite`` (gitignored).
+
+See :mod:`repro.store.base` for the replay contract and
+:mod:`repro.store.sqlite` for the concurrency/atomicity story.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .base import (
+    STORE_MAGIC,
+    STORE_SCHEMA_VERSION,
+    RunRecord,
+    RunStore,
+    RunSummary,
+    StoredRun,
+    StoreError,
+    fingerprint_of,
+)
+from .diff import bench_trajectory, diff_runs, render_diff
+from .sqlite import SqliteRunStore
+
+#: Environment variable naming the ambient store file.  Setting it
+#: both selects the store path *and* turns recording on for every CLI
+#: subcommand, so a whole session can be captured without per-command
+#: flags.
+STORE_ENV = "REPRO_STORE"
+
+#: Store file used when neither ``--store`` nor ``$REPRO_STORE`` says
+#: otherwise.
+DEFAULT_STORE_PATH = os.path.join("results", "runs.sqlite")
+
+
+def default_path() -> str:
+    """The effective store path: ``$REPRO_STORE`` or the default."""
+    return os.environ.get(STORE_ENV) or DEFAULT_STORE_PATH
+
+
+def open_store(path: str | None = None) -> RunStore:
+    """Open (creating if needed) the run store at ``path``.
+
+    ``path=None`` resolves through :func:`default_path`.
+    """
+    return SqliteRunStore(path or default_path())
+
+
+__all__ = [
+    "DEFAULT_STORE_PATH",
+    "STORE_ENV",
+    "STORE_MAGIC",
+    "STORE_SCHEMA_VERSION",
+    "RunRecord",
+    "RunStore",
+    "RunSummary",
+    "SqliteRunStore",
+    "StoredRun",
+    "StoreError",
+    "bench_trajectory",
+    "default_path",
+    "diff_runs",
+    "fingerprint_of",
+    "open_store",
+    "render_diff",
+]

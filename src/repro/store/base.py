@@ -1,0 +1,171 @@
+"""The durable run store: record every run, replay it, diff any two.
+
+This module defines the storage-backend-agnostic surface:
+
+* :class:`RunRecord` — the full provenance of one run: experiment
+  kind, config (engine, seeds, jobs, fault plan, scheduler/curve
+  identifiers — whatever the kind's spec dataclass carries), the
+  canonical **trace** bytes whose SHA-256 is the run's fingerprint,
+  plus the observability payloads exported from :mod:`repro.obs`
+  (span JSONL, metrics registry snapshot), the QoS/fleet report, and
+  wall-clock timings.
+* :class:`RunStore` — the abstract backend interface
+  (:meth:`~RunStore.record` / :meth:`~RunStore.get` /
+  :meth:`~RunStore.list`); the sqlite implementation lives in
+  :mod:`repro.store.sqlite`, behind the same interface so a
+  server-backed store can slot in later.
+
+The **replay contract** hangs off the trace bytes: every recordable
+experiment kind defines one canonical byte serialization of its
+outcome (the serving ``TraceLog``, the cluster decision log + fleet
+fingerprint, an experiment's CSV tables, ...).  Recording stores those
+bytes and their SHA-256; ``history replay`` re-executes the run from
+the stored config + seeds (with the recorded engine pinned) and
+asserts byte-identity against the stored trace.  A store whose trace
+no longer hashes to its fingerprint is tampered or corrupt, and replay
+refuses it before re-executing anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+
+#: Bump on any change to the stored-run schema.  Stores written by a
+#: different schema version are rejected on open with a clear error
+#: instead of being misread.
+STORE_SCHEMA_VERSION = 1
+
+#: ``store_meta`` marker identifying a database as a repro run store.
+STORE_MAGIC = "repro.store"
+
+
+class StoreError(RuntimeError):
+    """A store could not be opened, read, or written."""
+
+
+def fingerprint_of(trace: bytes) -> str:
+    """The canonical run fingerprint: SHA-256 over the trace bytes."""
+    return hashlib.sha256(trace).hexdigest()
+
+
+@dataclass
+class RunRecord:
+    """Everything one run leaves behind (see module docstring)."""
+
+    #: Experiment kind: ``serve`` / ``faults`` / ``run`` / ``obs`` /
+    #: ``cluster`` / ``bench``.
+    kind: str
+    #: The run's effective spec as a JSON-able mapping — enough to
+    #: re-execute it (seeds, jobs, fault plan parameters, scheduler
+    #: and curve identifiers included).
+    config: dict
+    #: Canonical outcome serialization (the replay contract).
+    trace: bytes
+    #: SHA-256 hex of ``trace``; filled by :meth:`sealed` when empty.
+    fingerprint: str = ""
+    #: Simulation engine the run executed under (``legacy``/``batched``);
+    #: replay pins this even when the ambient default has moved on.
+    engine: str | None = None
+    scheduler: str | None = None
+    seed: int | None = None
+    quick: bool = False
+    #: False for runs that record timings rather than a deterministic
+    #: trace (bench reports, imported baselines) — replay refuses them.
+    replayable: bool = True
+    #: Optional stable name (imported baselines use ``BENCH_PR<n>``).
+    label: str | None = None
+    #: The CLI invocation, for provenance.
+    argv: tuple[str, ...] = ()
+    #: Span-log export (``Observer.publish_into``), when observed.
+    spans_jsonl: str | None = None
+    #: Metrics-registry JSON snapshot, when observed.
+    metrics: dict | None = None
+    #: The run's QoS / fleet / bench report as JSON.
+    report: dict | None = None
+    #: Wall-clock section timings, seconds.
+    timings: dict = field(default_factory=dict)
+    #: Unix timestamp; stamped by :meth:`sealed` when zero.
+    created_at: float = 0.0
+
+    def sealed(self) -> "RunRecord":
+        """A copy with fingerprint and timestamp filled in."""
+        return replace(
+            self,
+            fingerprint=self.fingerprint or fingerprint_of(self.trace),
+            created_at=self.created_at or time.time(),
+            argv=tuple(self.argv),
+        )
+
+
+@dataclass
+class StoredRun(RunRecord):
+    """A :class:`RunRecord` read back from a store, with its id."""
+
+    run_id: int = -1
+
+    def verify(self) -> bool:
+        """True when the trace still hashes to the fingerprint."""
+        return fingerprint_of(self.trace) == self.fingerprint
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One listing row: provenance without the payload blobs."""
+
+    run_id: int
+    created_at: float
+    kind: str
+    label: str | None
+    engine: str | None
+    scheduler: str | None
+    seed: int | None
+    quick: bool
+    replayable: bool
+    fingerprint: str
+
+
+class RunStore(ABC):
+    """Abstract run store; see :class:`repro.store.SqliteRunStore`.
+
+    Implementations must make :meth:`record` atomic (a reader never
+    observes a half-written run) and safe under concurrent writers
+    (parallel ``--jobs N`` workers or several CLI processes sharing
+    one ``REPRO_STORE``).
+    """
+
+    @abstractmethod
+    def record(self, record: RunRecord) -> int:
+        """Persist one run; returns its run id."""
+
+    @abstractmethod
+    def get(self, run_id: int) -> StoredRun:
+        """Load one run in full; :class:`StoreError` when absent."""
+
+    @abstractmethod
+    def list(self, *, kind: str | None = None,
+             scheduler: str | None = None,
+             engine: str | None = None,
+             label: str | None = None,
+             since: float | None = None,
+             limit: int | None = None) -> list[RunSummary]:
+        """Summaries of matching runs, newest first."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    # -- conveniences shared by every backend ------------------------------
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def labels(self, kind: str | None = None) -> set[str]:
+        """Every non-null label present (baseline-import idempotence)."""
+        return {s.label for s in self.list(kind=kind)
+                if s.label is not None}

@@ -1,0 +1,238 @@
+"""Diffing two stored runs, and the bench-baseline trajectory.
+
+``history diff <a> <b>`` answers "what changed between these two
+runs?" across every payload the store keeps:
+
+* **config** — which spec fields differ (the provenance of any delta);
+* **report** — numeric QoS deltas (admit/reject counts, miss ratios,
+  utilizations, fleet rollups) from the flattened report JSON;
+* **phase latency** — per-histogram p50/p95/p99 regressions from the
+  metrics snapshots (``request_wait_ms``, ``request_service_ms``,
+  ``request_response_ms``, and any other ``*_ms`` histogram the run
+  recorded);
+* **outcomes** — terminal-outcome and serving-decision counter deltas
+  (``requests_{complete,miss,drop}_total``, ``trace_admit_total``,
+  ...), the store-side view of miss attribution;
+* **bench** — per-section speedup drift when both runs carry bench
+  reports.
+
+``history diff --bench`` renders the committed ``BENCH_PR<n>.json``
+trajectory (imported into the store on first use): the end-to-end
+speedup across PRs, with per-PR drift, replacing eyeballing the loose
+per-PR JSON files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .base import StoredRun
+
+#: Report keys whose absolute difference below this is noise, not delta.
+_EPSILON = 1e-12
+
+#: Histogram quantile keys surfaced by the metrics snapshot.
+_QUANTILES = ("p50", "p95", "p99")
+
+
+def flatten_numeric(obj, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON-able mapping, dotted-keyed."""
+    out: dict[str, float] = {}
+    if isinstance(obj, Mapping):
+        for key, value in obj.items():
+            out.update(flatten_numeric(value, f"{prefix}{key}."))
+    elif isinstance(obj, (list, tuple)):
+        for index, value in enumerate(obj):
+            out.update(flatten_numeric(value, f"{prefix}{index}."))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        out[prefix.rstrip(".")] = float(obj)
+    return out
+
+
+def _delta_rows(a: Mapping | None, b: Mapping | None) -> list[dict]:
+    """Shared numeric keys whose values differ, as delta rows."""
+    left = flatten_numeric(a or {})
+    right = flatten_numeric(b or {})
+    rows = []
+    for key in sorted(left.keys() & right.keys()):
+        if abs(left[key] - right[key]) > _EPSILON:
+            rows.append({"key": key, "a": left[key], "b": right[key],
+                         "delta": right[key] - left[key]})
+    return rows
+
+
+def _config_changes(a: Mapping, b: Mapping) -> list[dict]:
+    rows = []
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            rows.append({"key": key, "a": a.get(key, "<absent>"),
+                         "b": b.get(key, "<absent>")})
+    return rows
+
+
+def _histograms(metrics: Mapping | None) -> dict[str, Mapping]:
+    if not metrics:
+        return {}
+    return {name: value for name, value in metrics.items()
+            if isinstance(value, Mapping)
+            and value.get("type") == "histogram"}
+
+
+def phase_latency_deltas(a_metrics: Mapping | None,
+                         b_metrics: Mapping | None) -> list[dict]:
+    """p50/p95/p99 (and mean) deltas per shared latency histogram."""
+    left, right = _histograms(a_metrics), _histograms(b_metrics)
+    rows = []
+    for name in sorted(left.keys() & right.keys()):
+        for quantile in (*_QUANTILES, "mean"):
+            av, bv = left[name].get(quantile), right[name].get(quantile)
+            if isinstance(av, (int, float)) \
+                    and isinstance(bv, (int, float)) \
+                    and abs(av - bv) > _EPSILON:
+                rows.append({"histogram": name, "quantile": quantile,
+                             "a": float(av), "b": float(bv),
+                             "delta": float(bv) - float(av)})
+    return rows
+
+
+def outcome_deltas(a_metrics: Mapping | None,
+                   b_metrics: Mapping | None) -> list[dict]:
+    """Terminal-outcome and serving-decision counter deltas."""
+
+    def counters(metrics):
+        if not metrics:
+            return {}
+        return {
+            name: float(value["value"])
+            for name, value in metrics.items()
+            if isinstance(value, Mapping)
+            and value.get("type") == "counter"
+            and (name.startswith("requests_")
+                 or name.startswith("trace_")
+                 or name.startswith("cluster_"))
+        }
+
+    return _delta_rows(counters(a_metrics), counters(b_metrics))
+
+
+def _bench_speedups(report: Mapping | None) -> dict[str, float]:
+    """Every ``<section>[.<label>].speedup`` a bench report carries."""
+    out: dict[str, float] = {}
+    for name, section in (report or {}).get("sections", {}).items():
+        rows = section.get("rows", [section]) \
+            if isinstance(section, Mapping) else []
+        for row in rows:
+            if not isinstance(row, Mapping):
+                continue
+            speedup = row.get("speedup")
+            if not isinstance(speedup, (int, float)):
+                continue
+            label = row.get("curve") or row.get("label") or name
+            key = name if label == name else f"{name}.{label}"
+            out[key] = float(speedup)
+    return out
+
+
+def diff_runs(a: StoredRun, b: StoredRun) -> dict:
+    """The full diff of two stored runs (see module docstring)."""
+    diff: dict = {
+        "a": {"run_id": a.run_id, "kind": a.kind, "engine": a.engine,
+              "scheduler": a.scheduler, "fingerprint": a.fingerprint},
+        "b": {"run_id": b.run_id, "kind": b.kind, "engine": b.engine,
+              "scheduler": b.scheduler, "fingerprint": b.fingerprint},
+        "identical": a.fingerprint == b.fingerprint,
+        "config": _config_changes(a.config, b.config),
+        "report": _delta_rows(a.report, b.report),
+        "phase_latency": phase_latency_deltas(a.metrics, b.metrics),
+        "outcomes": outcome_deltas(a.metrics, b.metrics),
+    }
+    if a.kind == "bench" and b.kind == "bench":
+        left, right = _bench_speedups(a.report), _bench_speedups(b.report)
+        diff["bench"] = [
+            {"key": key, "a": left[key], "b": right[key],
+             "delta": right[key] - left[key]}
+            for key in sorted(left.keys() & right.keys())
+            if abs(left[key] - right[key]) > _EPSILON
+        ]
+    return diff
+
+
+def render_diff(diff: dict) -> str:
+    """Human-readable text form of :func:`diff_runs`."""
+    a, b = diff["a"], diff["b"]
+    lines = [
+        f"diff: run {a['run_id']} ({a['kind']}) -> "
+        f"run {b['run_id']} ({b['kind']})",
+        f"  fingerprints: {a['fingerprint'][:16]} -> "
+        f"{b['fingerprint'][:16]}"
+        + ("  [identical traces]" if diff["identical"] else ""),
+    ]
+
+    def section(title: str, rows: Iterable[dict], fmt) -> None:
+        rows = list(rows)
+        lines.append(f"{title}: "
+                     f"{len(rows) or 'no'} difference"
+                     f"{'' if len(rows) == 1 else 's'}")
+        for row in rows:
+            lines.append("  " + fmt(row))
+
+    section("config", diff["config"],
+            lambda r: f"{r['key']}: {r['a']!r} -> {r['b']!r}")
+    section("report (QoS deltas)", diff["report"],
+            lambda r: f"{r['key']}: {r['a']:g} -> {r['b']:g} "
+                      f"({r['delta']:+g})")
+    section("phase latency (ms)", diff["phase_latency"],
+            lambda r: f"{r['histogram']}.{r['quantile']}: "
+                      f"{r['a']:g} -> {r['b']:g} ({r['delta']:+g})")
+    section("outcome counters", diff["outcomes"],
+            lambda r: f"{r['key']}: {r['a']:g} -> {r['b']:g} "
+                      f"({r['delta']:+g})")
+    if "bench" in diff:
+        section("bench speedups", diff["bench"],
+                lambda r: f"{r['key']}: {r['a']:.2f}x -> {r['b']:.2f}x "
+                          f"({r['delta']:+.2f})")
+    return "\n".join(lines)
+
+
+#: Preference order for the one "end to end" number per bench report:
+#: the warm SoA-engine race where recorded (PR 6+), the single
+#: end-to-end section before the split (PR 3/5).
+_END_TO_END_KEYS = ("end_to_end_warm", "end_to_end")
+
+
+def bench_trajectory(reports: list[tuple[str, Mapping]]) -> str:
+    """The speedup trajectory across committed bench baselines.
+
+    ``reports`` is ``[(label, report_json), ...]`` in PR order.  One
+    row per baseline: the end-to-end speedup (warm where the split
+    exists), its drift vs the previous baseline, and the kernel
+    speedups (characterize / queue) for context.
+    """
+    lines = ["bench baseline trajectory (end-to-end speedup per PR)"]
+    header = (f"  {'baseline':12s} {'end_to_end':>12s} {'metric':>16s} "
+              f"{'drift':>8s} {'charac.':>9s} {'queue':>8s}")
+    lines.append(header)
+    previous: float | None = None
+    for label, report in reports:
+        speedups = _bench_speedups(report)
+        key = next((k for k in _END_TO_END_KEYS if k in speedups), None)
+        end_to_end = speedups.get(key) if key else None
+        drift = (f"{end_to_end / previous:7.2f}x"
+                 if end_to_end is not None and previous else "       -")
+        charac = speedups.get("characterize")
+        queue = speedups.get("queue")
+        lines.append(
+            f"  {label:12s} "
+            + (f"{end_to_end:11.2f}x" if end_to_end is not None
+               else f"{'-':>12s}")
+            + f" {key or '-':>16s} {drift} "
+            + (f"{charac:8.1f}x" if charac is not None else f"{'-':>9s}")
+            + (f" {queue:7.1f}x" if queue is not None else f" {'-':>8s}")
+        )
+        if end_to_end is not None:
+            previous = end_to_end
+    if previous is None:
+        lines.append("  (no baselines with an end-to-end section)")
+    return "\n".join(lines)

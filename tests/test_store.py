@@ -1,0 +1,216 @@
+"""The run store itself: round-trip, rejection, concurrency.
+
+Backend-level coverage of :mod:`repro.store` — records survive a
+write/read cycle field-for-field, listing filters work, corrupt or
+foreign databases are refused with a clear error instead of being
+misread, and concurrent writers (the ``--jobs N`` / shared
+``$REPRO_STORE`` scenario) serialize safely on the database lock.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import threading
+
+import pytest
+
+from repro.store import (
+    STORE_ENV,
+    STORE_MAGIC,
+    STORE_SCHEMA_VERSION,
+    RunRecord,
+    SqliteRunStore,
+    StoreError,
+    fingerprint_of,
+    open_store,
+)
+
+
+def make_record(**overrides) -> RunRecord:
+    base = dict(
+        kind="serve",
+        config={"seed": 77, "scheduler": "cascaded-sfc"},
+        trace=b"time|kind|stream|request|detail",
+        engine="batched",
+        scheduler="cascaded-sfc",
+        seed=77,
+        quick=True,
+        argv=("serve", "--quick"),
+        spans_jsonl='{"request_id": 1}\n',
+        metrics={"requests_complete_total": {"type": "counter",
+                                             "value": 3.0}},
+        report={"summary": {"miss ratio": 0.1}},
+        timings={"total_s": 0.25},
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SqliteRunStore(str(tmp_path / "runs.sqlite"))
+
+
+# -- round-trip -------------------------------------------------------------
+
+
+def test_roundtrip_preserves_every_field(store):
+    record = make_record()
+    run_id = store.record(record)
+    loaded = store.get(run_id)
+    assert loaded.run_id == run_id
+    for name in ("kind", "config", "trace", "engine", "scheduler",
+                 "seed", "quick", "replayable", "argv", "spans_jsonl",
+                 "metrics", "report", "timings"):
+        assert getattr(loaded, name) == getattr(record, name), name
+    assert loaded.fingerprint == fingerprint_of(record.trace)
+    assert loaded.created_at > 0
+    assert loaded.verify()
+
+
+def test_roundtrip_optional_payloads_absent(store):
+    run_id = store.record(RunRecord(kind="run", config={"name": "fig1"},
+                                    trace=b"csv"))
+    loaded = store.get(run_id)
+    assert loaded.spans_jsonl is None
+    assert loaded.metrics is None
+    assert loaded.report is None
+    assert loaded.timings == {}
+
+
+def test_sealed_respects_preset_fingerprint_and_time():
+    sealed = make_record(fingerprint="cafe", created_at=123.0).sealed()
+    assert sealed.fingerprint == "cafe"
+    assert sealed.created_at == 123.0
+
+
+def test_get_missing_run_raises(store):
+    with pytest.raises(StoreError, match="run 99 not found"):
+        store.get(99)
+
+
+def test_verify_detects_tampered_trace(store):
+    run_id = store.record(make_record())
+    with sqlite3.connect(store.path) as conn:
+        conn.execute("UPDATE runs SET trace = X'00' WHERE run_id = ?",
+                     (run_id,))
+    assert not store.get(run_id).verify()
+
+
+# -- listing ----------------------------------------------------------------
+
+
+def test_list_newest_first_with_filters(store):
+    first = store.record(make_record(kind="serve", engine="legacy"))
+    second = store.record(make_record(kind="cluster", engine="batched",
+                                      scheduler="edf"))
+    third = store.record(make_record(kind="serve", engine="batched"))
+
+    assert [s.run_id for s in store.list()] == [third, second, first]
+    assert [s.run_id for s in store.list(kind="serve")] == [third, first]
+    assert [s.run_id for s in store.list(engine="legacy")] == [first]
+    assert [s.run_id for s in store.list(scheduler="edf")] == [second]
+    assert [s.run_id for s in store.list(limit=1)] == [third]
+
+
+def test_list_since_filters_by_timestamp(store):
+    old = store.record(make_record(created_at=100.0))
+    recent = store.record(make_record(created_at=200.0))
+    assert [s.run_id for s in store.list(since=150.0)] == [recent]
+    assert {s.run_id for s in store.list(since=50.0)} == {old, recent}
+
+
+def test_labels_are_deduplicated(store):
+    store.record(make_record(kind="bench", label="BENCH_PR3",
+                             replayable=False))
+    store.record(make_record(kind="bench", label="BENCH_PR3",
+                             replayable=False))
+    store.record(make_record())
+    assert store.labels(kind="bench") == {"BENCH_PR3"}
+
+
+# -- rejection of bad databases --------------------------------------------
+
+
+def test_corrupt_file_rejected(tmp_path):
+    path = tmp_path / "corrupt.sqlite"
+    path.write_bytes(b"this is definitely not a sqlite file" * 64)
+    with pytest.raises(StoreError, match="not a readable SQLite"):
+        SqliteRunStore(str(path))
+
+
+def test_foreign_database_rejected(tmp_path):
+    path = tmp_path / "foreign.sqlite"
+    with sqlite3.connect(path) as conn:
+        conn.execute("CREATE TABLE users (name TEXT)")
+    with pytest.raises(StoreError, match="foreign database"):
+        SqliteRunStore(str(path))
+
+
+def test_foreign_magic_rejected(tmp_path):
+    path = tmp_path / "marked.sqlite"
+    store = SqliteRunStore(str(path))
+    with sqlite3.connect(store.path) as conn:
+        conn.execute("UPDATE store_meta SET value = 'other.tool' "
+                     "WHERE key = 'magic'")
+    with pytest.raises(StoreError, match=STORE_MAGIC):
+        SqliteRunStore(str(path))
+
+
+def test_schema_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "future.sqlite"
+    store = SqliteRunStore(str(path))
+    with sqlite3.connect(store.path) as conn:
+        conn.execute("UPDATE store_meta SET value = ? "
+                     "WHERE key = 'schema_version'",
+                     (str(STORE_SCHEMA_VERSION + 1),))
+    with pytest.raises(StoreError,
+                       match=f"v{STORE_SCHEMA_VERSION + 1}"):
+        SqliteRunStore(str(path))
+
+
+def test_open_store_resolves_env(tmp_path, monkeypatch):
+    target = tmp_path / "env" / "runs.sqlite"
+    os.makedirs(target.parent)
+    monkeypatch.setenv(STORE_ENV, str(target))
+    store = open_store()
+    assert store.path == str(target)
+    assert os.path.exists(str(target))
+
+
+# -- concurrency ------------------------------------------------------------
+
+
+def test_concurrent_writers_all_land(store):
+    """Parallel writers (threads, one store file) never lose a run."""
+    workers, per_worker = 8, 5
+    errors: list[Exception] = []
+
+    def write(worker: int) -> None:
+        try:
+            # Fresh handle per worker: same path, independent
+            # connections — the multi-process CLI shape.
+            local = SqliteRunStore(store.path)
+            for i in range(per_worker):
+                local.record(make_record(
+                    trace=f"worker {worker} run {i}".encode(),
+                    seed=worker * 100 + i))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(w,))
+               for w in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    rows = store.list()
+    assert len(rows) == workers * per_worker
+    assert len({s.run_id for s in rows}) == workers * per_worker
+    seeds = {store.get(s.run_id).seed for s in rows}
+    assert len(seeds) == workers * per_worker
+    for summary in rows:
+        assert store.get(summary.run_id).verify()

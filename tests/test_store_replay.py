@@ -1,0 +1,82 @@
+"""Store replay against the committed goldens.
+
+The store's per-kind canonical trace bytes are the *same* bytes the
+golden determinism tests pin: a recorded golden serve ramp stores
+exactly ``tests/golden/serve_trace.txt``, a recorded golden cluster
+scenario stores the decision log from ``tests/golden/cluster_trace.txt``
+(plus the fleet fingerprint), and ``history replay`` reproduces both
+byte-for-byte with exit 0.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import cluster_demo, history, serve_demo
+from repro.store import SqliteRunStore
+from tests.test_cluster_golden import GOLDEN_SPEC as CLUSTER_GOLDEN_SPEC
+from tests.test_determinism_golden import GOLDEN_SPEC as SERVE_GOLDEN_SPEC
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SqliteRunStore(str(tmp_path / "runs.sqlite"))
+
+
+def test_recorded_serve_trace_matches_golden(store):
+    """The stored serve trace IS the pinned golden trace."""
+    result = serve_demo.run(SERVE_GOLDEN_SPEC, sink=lambda line: None)
+    run_id = history.record_serve(store, SERVE_GOLDEN_SPEC, result)
+    stored = store.get(run_id)
+    golden = (GOLDEN_DIR / "serve_trace.txt").read_bytes().rstrip(b"\n")
+    assert stored.trace == golden
+
+
+def test_replay_recorded_serve_golden_exits_0(store):
+    result = serve_demo.run(SERVE_GOLDEN_SPEC, sink=lambda line: None)
+    run_id = history.record_serve(store, SERVE_GOLDEN_SPEC, result)
+    lines: list[str] = []
+    assert history.replay(store.get(run_id), out=lines.append) == 0
+    assert any("byte-for-byte" in line for line in lines)
+
+
+def test_recorded_cluster_trace_pins_decision_log(store):
+    """The stored cluster trace embeds the golden decision log."""
+    result = cluster_demo.run(CLUSTER_GOLDEN_SPEC)
+    run_id = history.record_cluster(store, CLUSTER_GOLDEN_SPEC, result)
+    stored = store.get(run_id)
+    golden = (GOLDEN_DIR / "cluster_trace.txt").read_bytes().rstrip(b"\n")
+    assert stored.trace.startswith(golden + b"\nfingerprint|")
+    assert stored.trace.endswith(
+        result.report.fingerprint().encode())
+
+
+def test_replay_recorded_cluster_golden_exits_0(store):
+    result = cluster_demo.run(CLUSTER_GOLDEN_SPEC)
+    run_id = history.record_cluster(store, CLUSTER_GOLDEN_SPEC, result)
+    lines: list[str] = []
+    assert history.replay(store.get(run_id), out=lines.append) == 0
+    assert any("byte-for-byte" in line for line in lines)
+
+
+def test_replay_detects_divergence(store):
+    """A stored trace that no longer matches re-execution exits 1.
+
+    Recorded under one seed, then the config is edited to another
+    seed with the fingerprint re-sealed: the store entry is internally
+    consistent (not tampered), but re-execution diverges.
+    """
+    import dataclasses
+
+    result = serve_demo.run(SERVE_GOLDEN_SPEC, sink=lambda line: None)
+    run_id = history.record_serve(store, SERVE_GOLDEN_SPEC, result)
+    stored = store.get(run_id)
+    altered = dataclasses.replace(
+        stored, config={**stored.config, "seed": stored.config["seed"] + 1})
+    lines: list[str] = []
+    assert history.replay(altered, out=lines.append) == 1
+    assert any("DIVERGED" in line for line in lines)
