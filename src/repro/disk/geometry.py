@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class Zone:
@@ -90,6 +92,25 @@ class DiskGeometry:
         object.__setattr__(
             self, "_zone_starts", tuple(z.first_cylinder for z in self.zones)
         )
+        # Column form of the zone table for block_cylinders: exclusive
+        # cumulative byte boundaries, per-cylinder capacity, and first
+        # cylinder of each zone.  Plain attributes (not dataclass
+        # fields) so eq/hash semantics are untouched.
+        per_cyl = np.array(
+            [z.sectors_per_track * self.tracks_per_cylinder * self.sector_size
+             for z in self.zones], dtype=np.int64)
+        zone_bytes = per_cyl * np.array(
+            [z.cylinders for z in self.zones], dtype=np.int64)
+        object.__setattr__(self, "_zone_byte_ends", np.cumsum(zone_bytes))
+        object.__setattr__(
+            self, "_zone_byte_starts",
+            self._zone_byte_ends - zone_bytes,  # type: ignore[attr-defined]
+        )
+        object.__setattr__(self, "_zone_per_cyl", per_cyl)
+        object.__setattr__(
+            self, "_zone_first",
+            np.array([z.first_cylinder for z in self.zones], dtype=np.int64),
+        )
 
     def zone_of(self, cylinder: int) -> Zone:
         """The zone containing ``cylinder``."""
@@ -140,6 +161,29 @@ class DiskGeometry:
         raise ValueError(
             f"block {block} (size {block_size}) beyond disk capacity"
         )
+
+    def block_cylinders(self, blocks: np.ndarray, block_size: int) -> np.ndarray:
+        """Vectorized :meth:`block_cylinder` over an int64 block array.
+
+        Same integer arithmetic as the scalar walk — the zone table is
+        kept as cumulative byte boundaries so a single ``searchsorted``
+        replaces the per-block zone scan.
+        """
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.size and int(blocks.min()) < 0:
+            raise ValueError("block must be non-negative")
+        offsets = blocks * block_size
+        ends: np.ndarray = self._zone_byte_ends  # type: ignore[attr-defined]
+        zone = np.searchsorted(ends, offsets, side="right")
+        if blocks.size and int(zone.max()) >= len(ends):
+            bad = int(blocks[zone >= len(ends)][0])
+            raise ValueError(
+                f"block {bad} (size {block_size}) beyond disk capacity"
+            )
+        starts: np.ndarray = self._zone_byte_starts  # type: ignore[attr-defined]
+        per_cyl: np.ndarray = self._zone_per_cyl  # type: ignore[attr-defined]
+        first: np.ndarray = self._zone_first  # type: ignore[attr-defined]
+        return first[zone] + (offsets - starts[zone]) // per_cyl[zone]
 
     def _check_cylinder(self, cylinder: int) -> None:
         if not 0 <= cylinder < self.cylinders:

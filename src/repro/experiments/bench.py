@@ -42,6 +42,13 @@ admission, byte-identical decision logs, sublinear per-decision cost)
 and the cluster demo end-to-end against the PR 6 hot path (full-scan
 admission plus the O(sessions) session poll), gated at >=3x on full
 runs with matching fleet fingerprints.
+
+The ``serve`` section races the batched SoA serving engine against
+the legacy event loop it replaced: a dense always-admit overload ramp
+(bit-identical trace/decisions/stats, >=4x on full runs) and the
+cluster demo end-to-end with the serving engine pinned per arm
+(matching fleet fingerprints; timing recorded next to the PR 8 fleet
+number for trend context).
 """
 
 from __future__ import annotations
@@ -101,6 +108,12 @@ class BenchSpec:
     #: Stream-open attempts per array in the scaling sweep (the fleet
     #: event script grows with the fleet, as it would in production).
     cluster_users_per_array: int = 800
+    #: Stream-open attempts of the serving-tier overload ramp (dense
+    #: always-admit arrivals: the serving loop, not admission, is the
+    #: cost under test).
+    serve_users: int = 900
+    serve_interval_ms: float = 50.0
+    serve_tail_ms: float = 10_000.0
 
     def quick(self) -> "BenchSpec":
         return BenchSpec(
@@ -117,6 +130,8 @@ class BenchSpec:
             cache_lut_dims=3,
             cluster_arrays=(16, 32),
             cluster_users_per_array=150,
+            serve_users=120,
+            serve_tail_ms=3_000.0,
         )
 
 
@@ -832,7 +847,9 @@ def _pr6_serving_scan():
     makes the cluster-demo gate a real before/after of the serving hot
     path on otherwise identical code.  The scan ignores the due-heap
     entirely, so the heap the current ``open`` still pushes onto is
-    inert; issue order (and therefore request ids) is unchanged.
+    inert; issue order (and therefore request ids) is unchanged.  Only
+    valid with ``engine="legacy"`` servers -- the batched serving
+    spans read the heap this scan leaves stale.
     """
     from repro.serve.session import SessionManager
 
@@ -958,13 +975,20 @@ def bench_cluster_scale(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
     demo_plans = fault_plans(demo_spec)
 
     def run_demo(incremental: bool):
+        # The serving engine is pinned per arm: the PR 6 path is the
+        # legacy event loop (the batched serving tier postdates it,
+        # and the full-scan poll patched in below bypasses the due
+        # heap the batched spans read), the current path is the
+        # batched engine -- regardless of ``$REPRO_SIM_ENGINE``.
+        engine = "batched" if incremental else "legacy"
         controller = ClusterController(make_config(demo_spec),
                                        demo_plans,
                                        incremental=incremental)
         started = time.perf_counter()
         plan = controller.run(demo_events, demo_spec.until_ms)
-        results = run_cells(run_cluster_cell, _cells(demo_spec, plan),
-                            jobs=1)
+        results = run_cells(
+            run_cluster_cell,
+            _cells(replace(demo_spec, engine=engine), plan), jobs=1)
         elapsed = time.perf_counter() - started
         return elapsed, build_report(plan, results)
 
@@ -992,6 +1016,144 @@ def bench_cluster_scale(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
     return section, invariants
 
 
+def _pr8_fleet_seconds() -> float | None:
+    """The PR 8 fleet demo recording (``cluster_scale`` demo row of
+    ``BENCH_PR8.json``), for trend context next to the fresh fleet
+    timing; ``None`` outside a repo checkout."""
+    for number, path in baseline_history():
+        if number != 8:
+            continue
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+            for row in report["sections"]["cluster_scale"]["rows"]:
+                if row.get("label", "").startswith("demo"):
+                    return row.get("current_s")
+        except (OSError, json.JSONDecodeError, KeyError):
+            return None
+    return None
+
+
+def bench_serve(spec: BenchSpec) -> tuple[dict, dict[str, bool]]:
+    """Serving tier: the batched SoA epoch loop vs the legacy oracle.
+
+    * **ramp** -- a dense always-admit overload ramp (arrivals every
+      few milliseconds, every stream admitted, queue bound forcing
+      bulk sheds) through the serve demo's own path, once per engine.
+      The trace, admission decisions, stats, and metrics fingerprint
+      must be bit-identical, and on full runs the batched engine must
+      clear a 4x wall-clock speedup -- the regime where the legacy
+      per-arrival event loop dominated the fleet demo.
+    * **fleet** -- the cluster demo end-to-end (decide + every serving
+      cell, serial) with the serving engine pinned per arm.  Fleet
+      report fingerprints must match; the speedup is recorded next to
+      the PR 8 fleet recording for trend context but never asserted --
+      both arms share the multi-second decide tier, so the margin is
+      machine- and profile-dependent.
+    """
+    from repro.cluster import ClusterController, build_report
+    from repro.experiments.cluster_demo import (
+        ClusterSpec,
+        _cells,
+        cluster_events,
+        fault_plans,
+        make_config,
+    )
+    from repro.experiments.faults_scenario import serialize_trace
+    from repro.experiments.serve_demo import (
+        ServeSpec,
+        build_server,
+        ramp_events,
+    )
+    from repro.parallel import (
+        metrics_fingerprint,
+        run_cells,
+        run_cluster_cell,
+    )
+    from repro.serve import run_ramp_online
+
+    full_run = spec.repeats >= 3
+    section: dict = {"rows": []}
+    invariants: dict[str, bool] = {}
+
+    # -- ramp: dense always-admit overload, the serving-loop stress -------
+    ramp_spec = replace(
+        ServeSpec(), max_users=spec.serve_users,
+        user_interval_ms=spec.serve_interval_ms, policy="always",
+        tail_ms=spec.serve_tail_ms,
+    )
+    events = ramp_events(ramp_spec)
+
+    def run_ramp(engine: str):
+        server = build_server(replace(ramp_spec, engine=engine),
+                              lambda line: None)
+        decisions = run_ramp_online(server, events, ramp_spec.until_ms)
+        return (decisions, serialize_trace(server), server.stats(),
+                metrics_fingerprint(server.metrics))
+
+    legacy_s, legacy = _best_of(lambda: run_ramp("legacy"), spec.repeats)
+    batched_s, batched = _best_of(lambda: run_ramp("batched"),
+                                  spec.repeats)
+    speedup = legacy_s / batched_s if batched_s > 0 else float("inf")
+    dispatched = batched[2].dispatched
+    section["rows"].append({
+        "label": "ramp",
+        "users": ramp_spec.max_users,
+        "interval_ms": ramp_spec.user_interval_ms,
+        "dispatched": dispatched,
+        "legacy_s": legacy_s,
+        "batched_s": batched_s,
+        "legacy_requests_per_s": (dispatched / legacy_s
+                                  if legacy_s > 0 else float("inf")),
+        "batched_requests_per_s": (dispatched / batched_s
+                                   if batched_s > 0 else float("inf")),
+        "speedup": speedup,
+        "speedup_gated": full_run,
+    })
+    invariants["serve.ramp.bit_identical"] = legacy == batched
+    invariants["serve.ramp.batched_4x"] = (
+        speedup >= 4.0 if full_run else True
+    )
+
+    # -- fleet: the cluster demo end-to-end, engine pinned per arm --------
+    demo_spec = ClusterSpec() if full_run else ClusterSpec().quick()
+    demo_events = cluster_events(demo_spec)
+    demo_plans = fault_plans(demo_spec)
+
+    def run_fleet(engine: str):
+        controller = ClusterController(make_config(demo_spec),
+                                       demo_plans)
+        started = time.perf_counter()
+        plan = controller.run(demo_events, demo_spec.until_ms)
+        results = run_cells(
+            run_cluster_cell,
+            _cells(replace(demo_spec, engine=engine), plan), jobs=1)
+        elapsed = time.perf_counter() - started
+        return elapsed, build_report(plan, results)
+
+    # Timed once per arm, directly: both are multi-second end-to-end
+    # runs, far above GC/scheduler noise.
+    legacy_fleet_s, legacy_fleet = run_fleet("legacy")
+    batched_fleet_s, batched_fleet = run_fleet("batched")
+    fleet_speedup = (legacy_fleet_s / batched_fleet_s
+                     if batched_fleet_s > 0 else float("inf"))
+    invariants["serve.fleet.bit_identical"] = (
+        batched_fleet.fingerprint() == legacy_fleet.fingerprint()
+    )
+    section["rows"].append({
+        "label": f"fleet{demo_spec.arrays}",
+        "arrays": demo_spec.arrays,
+        "users": demo_spec.users,
+        "accepted": batched_fleet.accepted,
+        "legacy_s": legacy_fleet_s,
+        "batched_s": batched_fleet_s,
+        "speedup": fleet_speedup,
+        "speedup_gated": False,
+        "pr8_recorded_s": _pr8_fleet_seconds(),
+    })
+    return section, invariants
+
+
 SECTIONS = (
     ("curve_batch", bench_curve_batch),
     ("characterize", bench_characterize),
@@ -1003,6 +1165,7 @@ SECTIONS = (
     ("store", bench_store),
     ("parallel", bench_parallel),
     ("cluster_scale", bench_cluster_scale),
+    ("serve", bench_serve),
 )
 
 #: Committed baselines are ``BENCH_PR<n>.json`` at the repo root; the

@@ -335,6 +335,11 @@ class ClusterCellSpec:
     retry_policy: RetryPolicy | None = None
     max_queue: int = 64
     priority_levels: int = 8
+    #: Serving engine ("legacy" | "batched"); None defers to
+    #: ``$REPRO_SIM_ENGINE`` exactly like ``StreamingServer``.  Trace
+    #: digests are bit-identical either way; pin it when the *timing*
+    #: of a specific engine is the point (the bench does).
+    engine: str | None = None
 
 
 @dataclass(frozen=True)
@@ -409,6 +414,7 @@ def run_cluster_cell(spec: ClusterCellSpec) -> ClusterCellResult:
         config=ServerConfig(max_queue=spec.max_queue,
                             priority_levels=spec.priority_levels),
         faults=faults,
+        engine=spec.engine,
     )
     local_ids: dict[int, int] = {}
     opened = closed = 0

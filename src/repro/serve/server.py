@@ -25,13 +25,20 @@ import heapq
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.batch import characterize_batch
+from repro.core.encapsulator import EncodeContext
 from repro.core.request import DiskRequest
+from repro.core.scheduler import CascadedSFCScheduler
 from repro.faults import FaultInjector
 from repro.obs.observer import Observer, live
 from repro.obs.profile import instrumented
 from repro.schedulers.base import Scheduler
 from repro.sim.metrics import MetricsCollector
+from repro.sim.server import resolve_engine
 from repro.sim.service import ServiceModel
+from repro.sim.soa import ServeInversionLedger
 
 from .admission import (
     AdmissionDecision,
@@ -43,6 +50,20 @@ from .clock import Clock, VirtualClock
 from .session import SessionManager, StreamSession, StreamSpec
 from .stats import QoSReporter, ServerStats, StreamQoSTracker
 from .trace import TraceLog
+
+#: Span size from which one whole-epoch :func:`characterize_batch`
+#: beats per-request scalar submits (the batch call has a fixed cost
+#: of roughly a dozen scalar characterizations).
+_SPAN_BATCH_MIN = 16
+#: Engine demotion: every ``_SPAN_DEMOTE_WINDOW`` spans the batched
+#: loop checks the window's mean span length; below
+#: ``_SPAN_DEMOTE_AVG`` requests per span the epoch machinery costs
+#: more than the legacy step it replaces (degenerate spans: sparse
+#: low-rate sessions, a mostly idle disk), so the server drops to the
+#: legacy loop for the rest of the run.  Purely a timing decision —
+#: both loops produce bit-identical results.
+_SPAN_DEMOTE_WINDOW = 128
+_SPAN_DEMOTE_AVG = 2.0
 
 
 @dataclass(frozen=True)
@@ -114,7 +135,8 @@ class StreamingServer:
                  config: ServerConfig | None = None,
                  reporter: QoSReporter | None = None,
                  faults: FaultInjector | None = None,
-                 observer: Observer | None = None) -> None:
+                 observer: Observer | None = None,
+                 engine: str | None = None) -> None:
         self.scheduler = scheduler
         self.service = service
         self.manager = manager
@@ -122,6 +144,25 @@ class StreamingServer:
         self.faults = faults
         self.clock = clock if clock is not None else VirtualClock()
         self.config = config or ServerConfig()
+        #: Serving-loop engine: ``"legacy"`` steps one event at a
+        #: time; ``"batched"`` admits arrival spans between event
+        #: barriers through the SoA session plans (bit-identical
+        #: traces — the legacy loop is the differential oracle).
+        self.engine = resolve_engine(engine)
+        self._batched = self.engine == "batched"
+        #: Per-dimension level occupancy of the waiting set, replacing
+        #: the O(queue) ``on_dispatch`` scan (batched engine only).
+        self._ledger = (ServeInversionLedger(self.config.priority_dims)
+                        if self._batched else None)
+        #: Lazy max-heap over queued requests on the shed-victim key
+        #: ``(priorities, deadline, request_id)`` (batched engine only).
+        self._shed_heap: list[
+            tuple[tuple[int, ...], float, int, DiskRequest]] = []
+        #: Ids currently inside the scheduler queue (batched only).
+        self._queued_ids: set[int] = set()
+        #: Span-amortization counters driving engine demotion.
+        self._span_window_count = 0
+        self._span_window_requests = 0
         self.reporter = reporter
         self.trace = TraceLog(capacity=self.config.trace_capacity)
         self.metrics = MetricsCollector(self.config.priority_dims,
@@ -166,6 +207,11 @@ class StreamingServer:
         self.degraded = False
         #: Per-admitted-stream reserved utilization shares.
         self._reservations: dict[int, float] = {}
+        #: Cached running sum of the shares (None = dirty).  Admission
+        #: checks read it per decision; keeping the fold incremental
+        #: (append adds, removal invalidates) reproduces
+        #: ``sum(dict.values())`` bit-for-bit.
+        self._reserved_sum: float | None = 0
         self._qos: dict[int, StreamQoSTracker] = {}
         #: Next periodic re-characterization instant (None = disarmed).
         self._recharacterize_due: float | None = None
@@ -180,7 +226,9 @@ class StreamingServer:
 
     @property
     def reserved_utilization(self) -> float:
-        return sum(self._reservations.values())
+        if self._reserved_sum is None:
+            self._reserved_sum = sum(self._reservations.values())
+        return self._reserved_sum
 
     def queue_length(self) -> int:
         """Queued requests still eligible for service."""
@@ -228,6 +276,9 @@ class StreamingServer:
             granted = spec.with_priorities(result.priorities)
         session = self.manager.open(granted, now)
         self._reservations[session.stream_id] = result.utilization
+        if self._reserved_sum is not None:
+            # Same fold as sum(values) with an append-at-end dict.
+            self._reserved_sum = self._reserved_sum + result.utilization
         self._qos[session.stream_id] = StreamQoSTracker(session.stream_id)
         if result.decision is AdmissionDecision.DOWNGRADE:
             self.downgraded += 1
@@ -248,6 +299,7 @@ class StreamingServer:
 
     def _retire(self, session: StreamSession, now: float) -> None:
         self._reservations.pop(session.stream_id, None)
+        self._reserved_sum = None  # mid-dict removal: recompute lazily
         self.closed_streams += 1
         self.trace.record(now, "close", stream_id=session.stream_id,
                           detail=f"issued={session.issued}")
@@ -256,6 +308,8 @@ class StreamingServer:
 
     def run_until(self, until_ms: float) -> None:
         """Advance the clock to ``until_ms``, serving everything due."""
+        if self._batched:
+            return self._run_until_batched(until_ms)
         while True:
             t = self._next_event_ms(until_ms)
             if t is None:
@@ -263,6 +317,158 @@ class StreamingServer:
             self.clock.sleep_until(t)
             self._process(max(t, self.clock.now_ms()))
         self.clock.sleep_until(until_ms)
+
+    def _run_until_batched(self, until_ms: float) -> None:
+        """The epoch-driven loop of the batched serving engine.
+
+        While the disk is busy, every instant strictly before the next
+        event barrier (completion, retry, report, degrade-exit, re-key)
+        is a pure arrival: no completion can fire, nothing dispatches,
+        no trace event other than shed/retire can occur.  Those
+        arrivals are taken from the session plans as one bulk span
+        (:meth:`SessionManager.poll_span`), characterized in one
+        batch, and inserted group-by-group so shedding and retirement
+        still happen at their exact legacy instants.  Everything at or
+        past the barrier falls through to the legacy single-event step,
+        which is why the two engines trace byte-identically.
+
+        Workloads whose spans degenerate to a request or two (sparse
+        low-rate sessions, a mostly idle disk) pay the epoch overhead
+        for nothing, so the loop watches the windowed mean span length
+        and demotes itself to the legacy loop when it stays under
+        ``_SPAN_DEMOTE_AVG`` — results are identical either way, only
+        the wall clock moves.
+        """
+        legacy_only = (self.obs is not None
+                       or self.config.shed_policy != "lowest-priority"
+                       or not isinstance(self.clock, VirtualClock))
+        while True:
+            due = self.manager.next_due_ms()
+            # Strictly-future dues only: an arrival due exactly *now*
+            # is processed by the legacy step at the clock's current
+            # value (whose int-ness the trace repr preserves).
+            if (due is not None and not legacy_only and self._batched
+                    and self._busy is not None
+                    and due > self.clock.now_ms()):
+                barrier = self._span_barrier_ms(until_ms)
+                if due < barrier:
+                    self._admit_span(due, barrier)
+                    continue
+            t = self._next_event_ms(until_ms)
+            if t is None:
+                break
+            self.clock.sleep_until(t)
+            self._process(max(t, self.clock.now_ms()))
+        self.clock.sleep_until(until_ms)
+
+    def _span_barrier_ms(self, until_ms: float) -> float:
+        """Earliest instant the span must stop *before*.
+
+        The same candidates :meth:`_next_event_ms` wakes up for,
+        folded into one bound; session dues strictly below it are pure
+        arrivals.  Conservative (a tighter barrier just shortens the
+        span — the next loop iteration picks up the rest).
+        """
+        assert self._busy is not None
+        now = self.clock.now_ms()
+        barrier = min(until_ms, self._busy[1])
+        if self.reporter is not None:
+            barrier = min(barrier, self.reporter.next_due_ms)
+        if self._retry_due:
+            barrier = min(barrier, max(self._retry_due[0][0], now))
+        if self.degraded and self._fault_times:
+            barrier = min(
+                barrier,
+                self._fault_times[0] + self.config.degrade_window_ms,
+            )
+        if self._recharacterize_due is not None:
+            barrier = min(barrier, max(self._recharacterize_due, now))
+        return barrier
+
+    def _admit_span(self, first_due: float, barrier: float) -> None:
+        """Admit every session arrival strictly before ``barrier``."""
+        config = self.config
+        if self._can_recharacterize and self._recharacterize_due is None:
+            # The periodic re-key arms at the first group instant;
+            # folding its due into the barrier up front keeps the
+            # armed timer outside the span.
+            barrier = min(barrier, first_due + config.recharacterize_ms)
+        requests, dues, exhausted = self.manager.poll_span(barrier)
+        self._span_window_count += 1
+        self._span_window_requests += len(requests)
+        if self._span_window_count >= _SPAN_DEMOTE_WINDOW:
+            if (self._span_window_requests
+                    < _SPAN_DEMOTE_AVG * self._span_window_count):
+                self._batched = False  # spans don't amortize here
+            self._span_window_count = 0
+            self._span_window_requests = 0
+        scheduler = self.scheduler
+        head = self.service.head_cylinder
+        keys: list[float] | None = None
+        if (isinstance(scheduler, CascadedSFCScheduler)
+                and len(requests) >= _SPAN_BATCH_MIN):
+            # One characterize_batch for the whole epoch; insertion
+            # happens per instant group below with the precomputed
+            # keys (head position cannot move inside the span).  Short
+            # spans stay on the scalar submit path — the batch call's
+            # fixed cost would dominate them.
+            ctx = EncodeContext(now_ms=dues[-1], head_cylinder=head)
+            keys = characterize_batch(
+                scheduler.encapsulator, requests, ctx,
+                nows=np.asarray(dues, dtype=np.float64),
+            ).tolist()
+            insert = scheduler.dispatcher.insert
+        qos = self._qos
+        max_queue = config.max_queue
+        exhaust_i = 0
+        n = len(requests)
+        i = 0
+        while i < n:
+            t = dues[i]
+            j = i + 1
+            while j < n and dues[j] == t:
+                j += 1
+            group = requests[i:j]
+            if keys is not None:
+                for request, vc in zip(group, keys[i:j]):
+                    insert(request, vc)
+            else:
+                submit = scheduler.submit
+                for request in group:
+                    submit(request, t, head)
+            for request in group:
+                tracker = qos.get(request.stream_id)
+                if tracker is not None:
+                    tracker.on_issue()
+                self._note_queued(request)
+            if self.queue_length() > max_queue:
+                self._shed_batched(t)
+            while (exhaust_i < len(exhausted)
+                   and exhausted[exhaust_i][0] <= t):
+                session = exhausted[exhaust_i][1]
+                self.manager.retire(session, t)
+                self._retire(session, t)
+                exhaust_i += 1
+            i = j
+        if self._can_recharacterize and self._recharacterize_due is None:
+            # Queue is non-empty from the first group on, so the
+            # legacy loop would have armed the timer there.
+            self._recharacterize_due = first_due + config.recharacterize_ms
+        self.clock.sleep_until(dues[-1])
+
+    def _note_queued(self, request: DiskRequest) -> None:
+        """Batched-engine bookkeeping for a request entering the queue."""
+        self._ledger.add(request.priorities)  # type: ignore[union-attr]
+        self._queued_ids.add(request.request_id)
+        heapq.heappush(self._shed_heap, (
+            tuple(-p for p in request.priorities),
+            -request.deadline_ms, -request.request_id, request,
+        ))
+
+    def _note_popped(self, request: DiskRequest) -> None:
+        """Batched-engine bookkeeping for a request leaving the queue."""
+        self._ledger.remove(request.priorities)  # type: ignore[union-attr]
+        self._queued_ids.discard(request.request_id)
 
     def run_for(self, delta_ms: float) -> None:
         self.run_until(self.clock.now_ms() + delta_ms)
@@ -362,6 +568,8 @@ class StreamingServer:
                 obs.on_arrival(request, now)
             self.scheduler.submit(request, now,
                                   self.service.head_cylinder)
+            if self._batched:
+                self._note_queued(request)
             if obs is not None:
                 obs.ensure_enqueued(request, now)
         if obs is not None:
@@ -382,31 +590,66 @@ class StreamingServer:
         self.recharacterizations += 1
 
     def _shed_to_capacity(self, now: float) -> None:
-        """Evict lowest-priority queued victims until the bound holds."""
-        while self.queue_length() > self.config.max_queue:
-            victims = [
-                r for r in self.scheduler.pending()
-                if r.request_id not in self._shed_pending
-            ]
-            if not victims:
-                break
-            victim = max(
-                victims,
-                key=lambda r: (r.priorities, r.deadline_ms, r.request_id),
-            )
-            self._shed_pending.add(victim.request_id)
-            self.preempted += 1
-            self.metrics.on_complete(victim, now, dropped=True)
-            if self.obs is not None:
-                self.obs.on_drop(victim, now, "shed")
-            tracker = self._qos.get(victim.stream_id)
-            if tracker is not None:
-                tracker.on_complete(now, missed=True, served=False)
-            self.trace.record(
-                now, "preempt", stream_id=victim.stream_id,
-                request_id=victim.request_id,
-                detail=f"shed level={max(victim.priorities, default=0)}",
-            )
+        """Evict lowest-priority queued victims until the bound holds.
+
+        One sorted bulk scan: the ``excess`` largest eligible victims
+        on the ``(priorities, deadline, request_id)`` key, taken in
+        descending order, are exactly the successive maxima the old
+        rescan-per-eviction loop picked (the key is a total order —
+        request ids are unique — and evicting the running maximum
+        never changes the remaining order).
+        """
+        if self._batched:
+            if self.queue_length() > self.config.max_queue:
+                self._shed_batched(now)
+            return
+        excess = self.queue_length() - self.config.max_queue
+        if excess <= 0:
+            return
+        victims = heapq.nlargest(
+            excess,
+            (r for r in self.scheduler.pending()
+             if r.request_id not in self._shed_pending),
+            key=lambda r: (r.priorities, r.deadline_ms, r.request_id),
+        )
+        for victim in victims:
+            self._shed_one(victim, now)
+
+    def _shed_batched(self, now: float) -> None:
+        """Shed via the lazy victim max-heap (batched engine).
+
+        Heap entries go stale when their request is popped or already
+        shed; they are discarded on surfacing.  The surviving top is
+        the same ``(priorities, deadline, request_id)`` maximum the
+        legacy scan takes, in the same order.
+        """
+        excess = self.queue_length() - self.config.max_queue
+        heap = self._shed_heap
+        queued = self._queued_ids
+        shed = self._shed_pending
+        while excess > 0 and heap:
+            victim = heapq.heappop(heap)[3]
+            rid = victim.request_id
+            if rid not in queued or rid in shed:
+                continue  # stale entry
+            self._shed_one(victim, now)
+            excess -= 1
+
+    def _shed_one(self, victim: DiskRequest, now: float) -> None:
+        """Count one queued request as shed (it drains as a zombie)."""
+        self._shed_pending.add(victim.request_id)
+        self.preempted += 1
+        self.metrics.on_complete(victim, now, dropped=True)
+        if self.obs is not None:
+            self.obs.on_drop(victim, now, "shed")
+        tracker = self._qos.get(victim.stream_id)
+        if tracker is not None:
+            tracker.on_complete(now, missed=True, served=False)
+        self.trace.record(
+            now, "preempt", stream_id=victim.stream_id,
+            request_id=victim.request_id,
+            detail=f"shed level={max(victim.priorities, default=0)}",
+        )
 
     # -- fault injection & graceful degradation ---------------------------
 
@@ -464,6 +707,8 @@ class StreamingServer:
                 self.obs.on_requeue(request, now, attempt=attempts + 1)
             self.scheduler.submit(request, now,
                                   self.service.head_cylinder)
+            if self._batched:
+                self._note_queued(request)
             self.trace.record(now, "retry",
                               stream_id=request.stream_id,
                               request_id=request.request_id,
@@ -498,21 +743,29 @@ class StreamingServer:
             self.trace.record(now, "degrade_exit")
 
     def _degrade_relief(self, now: float) -> None:
-        """Shed or downgrade the lowest-SFC-priority active streams."""
+        """Shed or downgrade the lowest-SFC-priority active streams.
+
+        One pass over the population: the ``degrade_victims`` largest
+        sessions on the ``(priorities, stream_id)`` key, descending,
+        match the old rescan-per-victim loop — shedding removes the
+        chosen victim from the population and downgrading makes it
+        ineligible, and neither changes any other session's key.
+        """
+        config = self.config
         lowest_of = lambda spec: tuple(  # noqa: E731
-            self.config.priority_levels - 1 for _ in spec.priorities
+            config.priority_levels - 1 for _ in spec.priorities
         )
-        for _ in range(self.config.degrade_victims):
-            victims = [
-                s for s in self.manager
-                if (self.config.degrade_policy == "shed"
-                    or s.spec.priorities != lowest_of(s.spec))
-            ]
-            if not victims:
-                return
-            victim = max(victims,
-                         key=lambda s: (s.spec.priorities, s.stream_id))
-            if self.config.degrade_policy == "shed":
+        eligible = [
+            s for s in self.manager
+            if (config.degrade_policy == "shed"
+                or s.spec.priorities != lowest_of(s.spec))
+        ]
+        victims = heapq.nlargest(
+            config.degrade_victims, eligible,
+            key=lambda s: (s.spec.priorities, s.stream_id),
+        )
+        for victim in victims:
+            if config.degrade_policy == "shed":
                 self.close_stream(victim.stream_id)
             else:
                 victim.spec = victim.spec.with_priorities(
@@ -532,6 +785,8 @@ class StreamingServer:
             )
             if request is None:
                 return
+            if self._batched:
+                self._note_popped(request)
             if request.request_id in self._shed_pending:
                 # Already counted as shed; let the scheduler forget it.
                 self._shed_pending.discard(request.request_id)
@@ -558,7 +813,15 @@ class StreamingServer:
                     continue
                 if outcome == "abort":
                     return
-            self.metrics.on_dispatch(request, self.scheduler.pending())
+            if self._batched:
+                # Same tallies as scanning pending(): the ledger holds
+                # exactly the still-queued requests (shed zombies
+                # included, as in the legacy scan).
+                self.metrics.add_inversions(
+                    self._ledger.inversions_of(  # type: ignore[union-attr]
+                        request.priorities))
+            else:
+                self.metrics.on_dispatch(request, self.scheduler.pending())
             record = self.service.serve(request, now)
             total_ms = record.total_ms
             if self.faults is not None:

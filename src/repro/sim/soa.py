@@ -189,3 +189,75 @@ class InversionLedger:
             rank = self._ranks[k][index]
             out.append(sum(self._counts[k][:rank]))
         return out
+
+
+@dataclass
+class ServeColumns:
+    """A session's upcoming arrivals, precomputed as SoA spans.
+
+    Each :class:`repro.serve.session.StreamSession` issues an arithmetic
+    arrival sequence — ``due = opened + index * period`` — with a block
+    walk and one RNG deadline draw per request.  The batched serving
+    loop plans a chunk of that sequence ahead of time as three parallel
+    columns (due, deadline, cylinder), indexed by the session's issue
+    counter, so the epoch admission path can count and take due spans
+    with ``np.searchsorted`` instead of per-request heap churn.
+
+    The arithmetic is element-for-element the scalar path's: dues via
+    one float64 multiply-add, deadlines by adding the session RNG's
+    draws (consumed in issue order at plan time) to the dues, cylinders
+    through :meth:`repro.disk.geometry.DiskGeometry.block_cylinders`.
+    A plan therefore never changes observable behaviour, only when the
+    work happens — the legacy ``issue()`` consumes from the same plan.
+    """
+
+    stream_id: int
+    #: Issue index of row 0; row ``i`` is issue ``start_index + i``.
+    start_index: int
+    due_ms: np.ndarray
+    deadline_ms: np.ndarray
+    cylinder: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.due_ms)
+
+    @property
+    def end_index(self) -> int:
+        """One past the last planned issue index."""
+        return self.start_index + len(self.due_ms)
+
+
+class ServeInversionLedger:
+    """:class:`InversionLedger` for an open-ended request population.
+
+    The offline ledger ranks a closed workload's priority levels up
+    front; the serving tier admits requests open-endedly, so this
+    variant keys occupancy by the raw priority level and grows the
+    per-dimension tables on demand.  Same integer tallies as the
+    legacy ``MetricsCollector.on_dispatch`` scan over ``pending()``.
+    """
+
+    def __init__(self, dims: int) -> None:
+        self._counts: list[list[int]] = [[] for _ in range(dims)]
+
+    def add(self, priorities: Sequence[int]) -> None:
+        """A request with ``priorities`` joined the waiting set."""
+        for k, level in enumerate(priorities):
+            counts = self._counts[k]
+            if level >= len(counts):
+                counts.extend([0] * (level + 1 - len(counts)))
+            counts[level] += 1
+
+    def remove(self, priorities: Sequence[int]) -> None:
+        """A request with ``priorities`` left the waiting set."""
+        for k, level in enumerate(priorities):
+            self._counts[k][level] -= 1
+
+    def inversions_of(self, priorities: Sequence[int]) -> list[int]:
+        """Waiting requests strictly above ``priorities``, per dim.
+
+        Call after :meth:`remove`, mirroring the legacy engine where
+        the dispatched request is already out of ``pending()``.
+        """
+        return [sum(self._counts[k][:level])
+                for k, level in enumerate(priorities)]

@@ -169,3 +169,27 @@ class TestSectionLayout:
                         if row["label"].startswith("demo"))
             assert demo["speedup"] >= 3.0
             assert invariants["cluster_scale.demo_3x"]
+
+    def test_serve_section_registered(self):
+        assert "serve" in [name for name, _ in SECTIONS]
+
+    def test_committed_baseline_has_serve(self):
+        """The latest committed baseline records the serving-engine
+        race: the dense overload ramp (bit-identical, >=4x on full
+        runs) and the fleet demo with the engine pinned per arm."""
+        with open(latest_baseline_path(), encoding="utf-8") as fh:
+            report = json.load(fh)
+        section = report["sections"]["serve"]
+        rows = {row["label"]: row for row in section["rows"]}
+        invariants = report["invariants"]
+        assert invariants["serve.ramp.bit_identical"]
+        assert invariants["serve.fleet.bit_identical"]
+        assert "ramp" in rows
+        fleet = next(row for label, row in rows.items()
+                     if label.startswith("fleet"))
+        # The fleet timing is recorded context (both arms share the
+        # decide tier), never a comparable gate.
+        assert fleet["speedup_gated"] is False
+        if report["meta"]["spec"] == "full":
+            assert rows["ramp"]["speedup"] >= 4.0
+            assert invariants["serve.ramp.batched_4x"]

@@ -138,7 +138,7 @@ class TestHistoryCommands:
                      "--store", store_path]) == 0
         out = capsys.readouterr().out
         assert "imported" in out
-        assert "BENCH_PR3" in out and "BENCH_PR8" in out
+        assert "BENCH_PR3" in out and "BENCH_PR10" in out
         assert "end_to_end" in out
 
     def test_baseline_import_is_idempotent(self, store_path,
